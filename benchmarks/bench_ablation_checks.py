@@ -1,0 +1,70 @@
+"""Ablation benchmarks (beyond the paper's figures).
+
+Two design questions the paper's evaluation leaves implicit are quantified
+here on the default setting:
+
+* **Where does the temporal-checking work go?**  ITG/S pays one ATI binary
+  search per relaxation; ITG/A pays one snapshot membership test plus an
+  occasional snapshot rebuild; the query-time-snapshot shortcut and the
+  temporal-unaware search bound the cost from below.
+* **What does the literal Algorithm 1 partition-visited pruning buy?**
+  ``partition_once=True`` mirrors the published pseudocode (fewer
+  relaxations, possibly longer paths); ``False`` is the exact door-to-door
+  expansion used everywhere else in this repository.
+"""
+
+import pytest
+
+from _bench_env import cached_environment, run_workload
+from repro.core.engine import ITSPQEngine
+
+
+@pytest.mark.parametrize("method", ["ITG/S", "ITG/A", "query-time", "static"])
+def test_ablation_temporal_check_strategies(benchmark, grid, method):
+    environment = cached_environment(
+        checkpoint_count=grid.default_checkpoints,
+        s2t_distance=grid.default_s2t,
+        query_time=grid.default_time,
+    )
+    found = benchmark(run_workload, environment, method)
+    sample = environment.engine.run(environment.queries[0], method=method)
+    benchmark.extra_info.update(
+        {
+            "figure": "ablation-checks",
+            "method": method,
+            "found": found,
+            "ati_probes": sample.statistics.ati_probes,
+            "membership_checks": sample.statistics.membership_checks,
+            "snapshot_refreshes": sample.statistics.snapshot_refreshes,
+        }
+    )
+
+
+@pytest.mark.parametrize("partition_once", [False, True])
+@pytest.mark.parametrize("method", ["ITG/S", "ITG/A"])
+def test_ablation_partition_once_pruning(benchmark, grid, partition_once, method):
+    environment = cached_environment(
+        checkpoint_count=grid.default_checkpoints,
+        s2t_distance=grid.default_s2t,
+        query_time=grid.default_time,
+    )
+    engine = ITSPQEngine(environment.itgraph, partition_once=partition_once)
+
+    def run():
+        found = 0
+        for query in environment.queries:
+            found += int(engine.run(query, method=method).found)
+        return found
+
+    found = benchmark(run)
+    sample = engine.run(environment.queries[0], method=method)
+    benchmark.extra_info.update(
+        {
+            "figure": "ablation-partition-once",
+            "method": method,
+            "partition_once": partition_once,
+            "found": found,
+            "relaxations": sample.statistics.relaxations,
+            "doors_settled": sample.statistics.doors_settled,
+        }
+    )

@@ -1,0 +1,33 @@
+"""Figure 4 — search time vs. checkpoint-set size ``|T|``.
+
+The paper plots ITG/S and ITG/A for |T| in {4, 8, 12, 16} at two query times:
+12:00 (when nearly every door is open, so |T| barely matters) and 8:00 (when
+larger |T| closes more doors and the search gets cheaper).  Each benchmark
+times one full query set (five δs2t-controlled origin/destination pairs).
+"""
+
+import pytest
+
+from _bench_env import cached_environment, run_workload
+
+
+@pytest.mark.parametrize("checkpoints", [4, 8, 12, 16])
+@pytest.mark.parametrize("query_time", ["12:00", "8:00"])
+@pytest.mark.parametrize("method", ["ITG/S", "ITG/A"])
+def test_fig4_search_time_vs_checkpoint_count(benchmark, grid, checkpoints, query_time, method):
+    environment = cached_environment(
+        checkpoint_count=checkpoints,
+        s2t_distance=grid.default_s2t,
+        query_time=query_time,
+    )
+    found = benchmark(run_workload, environment, method)
+    benchmark.extra_info.update(
+        {
+            "figure": "fig4",
+            "checkpoints": checkpoints,
+            "query_time": query_time,
+            "method": method,
+            "queries": len(environment.queries),
+            "found": found,
+        }
+    )

@@ -1,0 +1,33 @@
+"""Figure 5 — search time vs. source-to-target distance δs2t.
+
+The paper sweeps δs2t from 1100 m to 1900 m at |T| = 8 and t = 12:00 and
+observes a mild increase in search time for both ITG/S and ITG/A.  The sweep
+below uses the scale-appropriate δs2t values from the parameter grid.
+"""
+
+import pytest
+
+from _bench_env import bench_scale, cached_environment, run_workload
+from repro.bench.experiments import default_grid
+
+_GRID = default_grid(bench_scale())
+
+
+@pytest.mark.parametrize("s2t", list(_GRID.s2t_distances))
+@pytest.mark.parametrize("method", ["ITG/S", "ITG/A"])
+def test_fig5_search_time_vs_s2t_distance(benchmark, grid, s2t, method):
+    environment = cached_environment(
+        checkpoint_count=grid.default_checkpoints,
+        s2t_distance=s2t,
+        query_time=grid.default_time,
+    )
+    found = benchmark(run_workload, environment, method)
+    benchmark.extra_info.update(
+        {
+            "figure": "fig5",
+            "s2t": s2t,
+            "method": method,
+            "queries": len(environment.queries),
+            "found": found,
+        }
+    )

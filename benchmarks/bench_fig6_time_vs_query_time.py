@@ -1,0 +1,34 @@
+"""Figure 6 — search time vs. query time of day.
+
+The paper issues the default query set at every even hour of the day and
+observes: cheap searches before ~10:00 and after ~20:00 (most doors closed,
+small effective graph), a plateau between 10:00 and 20:00 (nearly everything
+open), with ITG/S and ITG/A tracking each other.
+"""
+
+import pytest
+
+from _bench_env import bench_scale, cached_environment, run_workload
+from repro.bench.experiments import default_grid
+
+_GRID = default_grid(bench_scale())
+
+
+@pytest.mark.parametrize("query_time", list(_GRID.query_times))
+@pytest.mark.parametrize("method", ["ITG/S", "ITG/A"])
+def test_fig6_search_time_vs_time_of_day(benchmark, grid, query_time, method):
+    environment = cached_environment(
+        checkpoint_count=grid.default_checkpoints,
+        s2t_distance=grid.default_s2t,
+        query_time=query_time,
+    )
+    found = benchmark(run_workload, environment, method)
+    benchmark.extra_info.update(
+        {
+            "figure": "fig6",
+            "query_time": query_time,
+            "method": method,
+            "queries": len(environment.queries),
+            "found": found,
+        }
+    )

@@ -1,0 +1,50 @@
+"""Figure 7 — memory cost vs. query time of day.
+
+The paper reports the per-query memory cost over the day: it follows the same
+shape as the search time (larger effective graph and frontier mid-day,
+smaller early morning and late night).  pytest-benchmark measures the time of
+the instrumented run; the tracemalloc peak per query set is attached to each
+benchmark's ``extra_info`` as ``mean_memory_kb`` — that column is the Figure 7
+series.
+"""
+
+import pytest
+
+from _bench_env import bench_scale, cached_environment
+from repro.bench.experiments import default_grid
+from repro.bench.harness import run_query_set
+
+_GRID = default_grid(bench_scale())
+
+# A sparser time grid keeps the instrumented (tracemalloc) runs affordable.
+_TIMES = list(_GRID.query_times)[::2]
+
+
+@pytest.mark.parametrize("query_time", _TIMES)
+@pytest.mark.parametrize("method", ["ITG/S", "ITG/A"])
+def test_fig7_memory_vs_time_of_day(benchmark, grid, query_time, method):
+    environment = cached_environment(
+        checkpoint_count=grid.default_checkpoints,
+        s2t_distance=grid.default_s2t,
+        query_time=query_time,
+    )
+
+    def measure():
+        return run_query_set(
+            environment.engine,
+            environment.queries,
+            method,
+            repetitions=1,
+            measure_memory=True,
+        )
+
+    measurement = benchmark.pedantic(measure, rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "figure": "fig7",
+            "query_time": query_time,
+            "method": method,
+            "mean_memory_kb": round(measurement.mean_memory_kb, 1),
+            "mean_time_us": round(measurement.mean_time_us, 1),
+        }
+    )

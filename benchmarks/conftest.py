@@ -1,0 +1,22 @@
+"""Fixtures for the benchmark suite (see ``_bench_env`` for the helpers)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the sibling helper module importable regardless of which directory
+# pytest is invoked from.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_env import bench_scale  # noqa: E402
+
+from repro.bench.experiments import default_grid  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def grid():
+    """The parameter grid (Table II analogue) for the selected scale."""
+    return default_grid(bench_scale())

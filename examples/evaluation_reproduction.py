@@ -1,0 +1,54 @@
+"""Regenerate the paper's evaluation figures from the command line.
+
+This is a thin, readable wrapper over :mod:`repro.bench`: it runs the four
+figure experiments (and the two ablations) at the requested scale and prints
+the series the paper plots, plus one-line comparisons of ITG/S vs ITG/A.
+
+Run with::
+
+    python examples/evaluation_reproduction.py                 # small scale (~1 minute)
+    python examples/evaluation_reproduction.py --scale tiny    # seconds, for smoke tests
+    python examples/evaluation_reproduction.py --scale paper   # full Table II setting
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.experiments import EXPERIMENTS, ExperimentScale
+from repro.bench.reporting import format_experiment, summarise_speedup
+
+FIGURES = ("fig4", "fig5", "fig6", "fig7")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in ExperimentScale],
+        default="small",
+        help="venue and workload scale (paper = full Table II setting)",
+    )
+    parser.add_argument(
+        "--include-ablations",
+        action="store_true",
+        help="also run the ablation experiments beyond the paper's figures",
+    )
+    args = parser.parse_args()
+    scale = ExperimentScale(args.scale)
+
+    names = list(FIGURES) + (
+        ["ablation-checks", "ablation-partition-once"] if args.include_ablations else []
+    )
+    for name in names:
+        result = EXPERIMENTS[name](scale=scale)
+        print(format_experiment(result))
+        if name in ("fig5", "fig6"):
+            print()
+            print("  " + summarise_speedup(result, "ITG/S", "ITG/A"))
+        print()
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""Hospital navigation with visiting hours — the paper's motivating scenario.
+
+The introduction motivates ITSPQ with doors whose availability depends on the
+time of day, e.g. "doors leading to patient wards in a hospital may only open
+during visiting hours".  This example models a small hospital floor:
+
+* a public entrance hall and two corridors,
+* wards behind doors that only open during visiting hours (10:00–12:00 and
+  15:00–19:00),
+* a staff-only (private) corridor that visitors must never be routed through,
+  even when it would be shorter,
+* a pharmacy and a cafeteria with their own opening hours.
+
+It then answers the same visitor request at different times of day and shows
+how the valid route changes — including the case where the only remaining
+route is longer because the shortcut through the staff corridor is private.
+
+Run with::
+
+    python examples/hospital_visiting_hours.py
+"""
+
+from __future__ import annotations
+
+from repro import CheckMethod, ITSPQEngine, IndoorPoint, IndoorSpaceBuilder, build_itgraph
+from repro.bench.reporting import format_table
+from repro.indoor.entities import PartitionCategory, PartitionType
+from repro.temporal.schedule import DoorSchedule
+
+VISITING_HOURS = [("10:00", "12:00"), ("15:00", "19:00")]
+
+
+def build_hospital():
+    """A single hospital floor: entrance, corridors, wards, staff area."""
+    builder = IndoorSpaceBuilder("hospital-floor")
+    # Entrance hall and the two public corridors.
+    builder.add_rectangle_partition("entrance", 0, 0, 20, 10, category=PartitionCategory.LOBBY)
+    builder.add_rectangle_partition("corridor-west", 0, 10, 10, 50, category=PartitionCategory.HALLWAY)
+    builder.add_rectangle_partition("corridor-east", 30, 10, 40, 50, category=PartitionCategory.HALLWAY)
+    # Staff-only corridor linking the two public corridors half-way.
+    builder.add_rectangle_partition(
+        "staff-corridor", 10, 28, 30, 34,
+        partition_type=PartitionType.PRIVATE, category=PartitionCategory.OFFICE,
+    )
+    # Wards hang off the east corridor behind visiting-hours doors.
+    builder.add_rectangle_partition("ward-a", 10, 38, 30, 50, category=PartitionCategory.WARD)
+    builder.add_rectangle_partition("ward-b", 40, 10, 60, 30, category=PartitionCategory.WARD)
+    # Pharmacy and cafeteria off the west corridor.
+    builder.add_rectangle_partition("pharmacy", 10, 10, 22, 22, category=PartitionCategory.SHOP)
+    builder.add_rectangle_partition("cafeteria", 40, 30, 60, 50, category=PartitionCategory.FOOD_COURT)
+
+    builder.add_door("d-entrance-west", IndoorPoint(5, 10, 0), between=("entrance", "corridor-west"))
+    builder.add_door("d-entrance-east", IndoorPoint(19, 10, 0), between=("entrance", "corridor-east"))
+    builder.add_door("d-staff-west", IndoorPoint(10, 31, 0), between=("corridor-west", "staff-corridor"))
+    builder.add_door("d-staff-east", IndoorPoint(30, 31, 0), between=("staff-corridor", "corridor-east"))
+    builder.add_door("d-ward-a", IndoorPoint(10, 44, 0), between=("corridor-west", "ward-a"))
+    builder.add_door("d-ward-a-east", IndoorPoint(30, 44, 0), between=("ward-a", "corridor-east"))
+    builder.add_door("d-ward-b", IndoorPoint(40, 20, 0), between=("corridor-east", "ward-b"))
+    builder.add_door("d-pharmacy", IndoorPoint(10, 16, 0), between=("corridor-west", "pharmacy"))
+    builder.add_door("d-cafeteria", IndoorPoint(40, 40, 0), between=("corridor-east", "cafeteria"))
+    space = builder.build()
+
+    schedule = DoorSchedule.from_pairs(
+        {
+            # Ward doors follow visiting hours.
+            "d-ward-a": VISITING_HOURS,
+            "d-ward-a-east": VISITING_HOURS,
+            "d-ward-b": VISITING_HOURS,
+            # Pharmacy and cafeteria have their own business hours.
+            "d-pharmacy": [("8:00", "17:00")],
+            "d-cafeteria": [("7:00", "20:00")],
+            # The hospital entrance closes overnight.
+            "d-entrance-west": [("6:00", "22:00")],
+            "d-entrance-east": [("6:00", "22:00")],
+        }
+    )
+    return build_itgraph(space, schedule)
+
+
+def main() -> None:
+    itgraph = build_hospital()
+    engine = ITSPQEngine(itgraph)
+
+    lobby = IndoorPoint(10, 5, 0)        # visitor at the entrance
+    ward_a_bed = IndoorPoint(20, 46, 0)  # patient bed in ward A
+    cafeteria = IndoorPoint(50, 42, 0)
+
+    print(f"Hospital IT-Graph: {itgraph.statistics()}")
+    print()
+
+    print("Visitor request: entrance -> bed in ward A")
+    rows = []
+    for time in ("7:00", "10:30", "13:00", "16:00", "21:30", "23:00"):
+        result = engine.query(lobby, ward_a_bed, time, CheckMethod.SYNCHRONOUS)
+        rows.append(
+            {
+                "query time": time,
+                "answer": "no such routes" if not result.found else f"{result.length:.1f} m",
+                "doors": " -> ".join(result.path.door_sequence) if result.found else "-",
+            }
+        )
+    print(format_table(rows))
+    print()
+
+    print("Patient walk: ward A -> cafeteria (the staff corridor would be shorter but is private)")
+    rows = []
+    for time in ("10:30", "16:00"):
+        result = engine.query(ward_a_bed, cafeteria, time)
+        assert result.found
+        assert "d-staff-west" not in result.path.door_sequence
+        rows.append(
+            {
+                "query time": time,
+                "length (m)": round(result.length, 1),
+                "doors": " -> ".join(result.path.door_sequence),
+                "valid": result.path.is_valid(itgraph),
+            }
+        )
+    print(format_table(rows))
+    print()
+
+    print("Same request issued moments before the morning visiting hours end at 12:00")
+    print("(the walk to the ward door takes about 30 seconds):")
+    result = engine.query(lobby, ward_a_bed, "11:58")
+    print(f"  11:58    -> {result.summary()}")
+    result = engine.query(lobby, ward_a_bed, "11:59:45")
+    print(f"  11:59:45 -> {result.summary()}")
+    print("  (the second request fails: the ward door closes before the visitor arrives)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Mall navigation over the synthetic multi-floor venue.
+
+Generates a (reduced-size) version of the paper's synthetic shopping mall —
+corridor grid, shops, anchor stores, staircases — assigns realistic opening
+hours, and answers navigation requests across floors at different times of
+day, showing how the valid route (and its length) changes as doors open and
+close.
+
+Run with::
+
+    python examples/mall_navigation.py            # reduced venue (fast)
+    python examples/mall_navigation.py --paper    # the full 5-floor Table II venue
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CheckMethod, ITSPQEngine, build_itgraph
+from repro.bench.reporting import format_table
+from repro.geometry.point import IndoorPoint
+from repro.synthetic.multifloor import MultiFloorConfig, generate_mall_venue
+from repro.synthetic.queries import QueryWorkloadConfig, generate_query_instances
+from repro.synthetic.schedules import ScheduleConfig, generate_schedule
+
+
+def build_venue(paper_scale: bool):
+    config = MultiFloorConfig.paper_default() if paper_scale else MultiFloorConfig.small(floors=3)
+    venue = generate_mall_venue(config, seed=7)
+    schedule, checkpoints = generate_schedule(venue.space, ScheduleConfig(checkpoint_count=8))
+    itgraph = build_itgraph(venue.space, schedule, validate=False)
+    return venue, itgraph, checkpoints
+
+
+def cross_floor_trip(venue, itgraph, engine):
+    """Route between two shops on different floors across the day."""
+    shops_by_floor = {}
+    for floor, layout in venue.floor_layouts.items():
+        for shop_id in layout.shops:
+            partition = venue.space.partition(shop_id)
+            if partition.polygon is not None and not partition.is_private:
+                shops_by_floor.setdefault(floor, partition)
+                break
+    floors = sorted(shops_by_floor)
+    source_partition = shops_by_floor[floors[0]]
+    target_partition = shops_by_floor[floors[-1]]
+    source = IndoorPoint(
+        source_partition.polygon.centroid.x, source_partition.polygon.centroid.y, floors[0]
+    )
+    target = IndoorPoint(
+        target_partition.polygon.centroid.x, target_partition.polygon.centroid.y, floors[-1]
+    )
+
+    print(
+        f"Trip from {source_partition.partition_id} (floor {floors[0]}) "
+        f"to {target_partition.partition_id} (floor {floors[-1]}):"
+    )
+    rows = []
+    for hour in (4, 8, 10, 12, 16, 20, 23):
+        result = engine.query(source, target, f"{hour}:00", CheckMethod.ASYNCHRONOUS)
+        rows.append(
+            {
+                "query time": f"{hour}:00",
+                "reachable": result.found,
+                "length (m)": round(result.length, 1) if result.found else "-",
+                "doors": result.path.door_count if result.found else "-",
+                "staircases used": sum(
+                    1 for d in (result.path.door_sequence if result.found else []) if "stair" in d
+                ),
+            }
+        )
+    print(format_table(rows))
+    print()
+
+
+def workload_summary(itgraph, engine):
+    """Answer a δs2t-controlled workload with both methods and compare costs."""
+    workload = generate_query_instances(
+        itgraph, QueryWorkloadConfig(s2t_distance=300, pairs=5, query_time="12:00")
+    )
+    rows = []
+    for method in (CheckMethod.SYNCHRONOUS, CheckMethod.ASYNCHRONOUS):
+        for generated in workload:
+            result = engine.run(generated.query, method=method)
+            rows.append(
+                {
+                    "method": result.method_label,
+                    "query": generated.query.label,
+                    "length (m)": round(result.length, 1) if result.found else "-",
+                    "time (us)": round(result.statistics.runtime_seconds * 1e6, 1),
+                    "ATI probes": result.statistics.ati_probes,
+                    "membership checks": result.statistics.membership_checks,
+                }
+            )
+    print("Default workload (δs2t-controlled pairs) at 12:00:")
+    print(format_table(rows))
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper", action="store_true", help="use the full 5-floor paper-scale venue")
+    args = parser.parse_args()
+
+    venue, itgraph, checkpoints = build_venue(args.paper)
+    print(f"Synthetic mall: {venue.space}")
+    print(f"  IT-Graph: {itgraph.statistics()}")
+    print(f"  checkpoint set T ({len(checkpoints)} instants): {checkpoints}")
+    print()
+
+    engine = ITSPQEngine(itgraph)
+    cross_floor_trip(venue, itgraph, engine)
+    workload_summary(itgraph, engine)
+
+
+if __name__ == "__main__":
+    main()

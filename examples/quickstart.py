@@ -1,0 +1,79 @@
+"""Quickstart: the paper's running example (Figure 1 + Table I).
+
+Builds the reconstructed example venue, prints the Table I door schedule,
+answers Example 1's queries with both ITG/S and ITG/A, and shows why a
+temporal-variation-unaware shortest path is not good enough.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import CheckMethod, ITSPQEngine, datasets, static_shortest_path
+from repro.bench.reporting import format_table
+
+
+def print_table_i() -> None:
+    """Print the door schedule of the running example (Table I)."""
+    schedule = datasets.build_example_schedule()
+    rows = [
+        {"door": door_id, "ATIs": str(atis)}
+        for door_id, atis in sorted(schedule.items(), key=lambda item: int(item[0][1:]))
+    ]
+    print("Table I — Active Time Intervals of the example doors")
+    print(format_table(rows))
+    print()
+
+
+def run_example_1(engine: ITSPQEngine) -> None:
+    """Reproduce Example 1 of the paper."""
+    points = datasets.example_query_points()
+    print("Example 1 — ITSPQ(p3, p4, t)")
+    for query_time in ("9:00", "23:30"):
+        for method in (CheckMethod.SYNCHRONOUS, CheckMethod.ASYNCHRONOUS):
+            result = engine.query(points["p3"], points["p4"], query_time, method)
+            print(f"  t={query_time:>6}  {result.summary()}")
+    print()
+
+
+def show_why_static_search_fails(engine: ITSPQEngine) -> None:
+    """A temporal-unaware search returns a route that is closed on arrival."""
+    itgraph = engine.itgraph
+    points = datasets.example_query_points()
+    static = static_shortest_path(itgraph, points["p3"], points["p4"], "23:30", engine)
+    print("Temporal-unaware baseline at 23:30 (the pre-ITSPQ state of the art):")
+    print(f"  returns {static.path.describe()}")
+    violations = static.path.validate(itgraph)
+    for violation in violations:
+        print(f"  but violates {violation}")
+    print()
+
+
+def main() -> None:
+    itgraph = datasets.build_example_itgraph()
+    print(f"Running example IT-Graph: {itgraph}")
+    print(f"  statistics: {itgraph.statistics()}")
+    print()
+
+    print_table_i()
+
+    engine = ITSPQEngine(itgraph)
+    run_example_1(engine)
+    show_why_static_search_fails(engine)
+
+    # A normal mid-day navigation request, with per-hop arrival times.
+    points = datasets.example_query_points()
+    result = engine.query(points["p1"], points["p2"], "12:00")
+    print("Route from the private office (p1) to shop v8 (p2) at 12:00:")
+    for hop in result.path.hops:
+        print(
+            f"  cross {hop.door_id:>4} from {hop.from_partition:>4} into {hop.to_partition:>4} "
+            f"after {hop.distance_from_source:6.1f} m (arrival {hop.arrival_time})"
+        )
+    print(f"  total length {result.length:.1f} m, arrival {result.path.arrival_time_at_target}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Command-line entry point for the benchmark harness.
+
+Examples
+--------
+Regenerate Figure 6 at the default (small) scale::
+
+    python -m repro.bench fig6
+
+Run the full paper-scale sweep of Figure 4::
+
+    python -m repro.bench fig4 --scale paper
+
+Run every experiment and write the tables to a file::
+
+    python -m repro.bench all --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.bench.experiments import EXPERIMENTS, ExperimentScale
+from repro.bench.reporting import format_experiment
+
+
+def _parse_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the figures of the ITSPQ paper's evaluation.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run ('all' runs every figure and ablation)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=[scale.value for scale in ExperimentScale],
+        default=ExperimentScale.SMALL.value,
+        help="venue/workload scale (default: small; 'paper' is the full Table II setting)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the rendered tables to this file",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: List[str] = None) -> int:  # type: ignore[assignment]
+    """Run the requested experiment(s) and print their series."""
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    scale = ExperimentScale(args.scale)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    sections = []
+    for name in names:
+        result = EXPERIMENTS[name](scale=scale)
+        rendered = format_experiment(result)
+        print(rendered)
+        print()
+        sections.append(rendered)
+
+    if args.output is not None:
+        args.output.write_text("\n\n".join(sections) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

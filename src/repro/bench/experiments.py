@@ -1,0 +1,371 @@
+"""Experiment definitions: one per figure of the paper's evaluation.
+
+Every experiment follows the paper's protocol (Table II parameter grid, five
+query pairs per setting, ten repetitions, 12:00 default query time) but can
+be run at three scales:
+
+``tiny``
+    A one-floor miniature venue used by the test-suite; seconds to run.
+``small`` (default)
+    A two-floor mid-size venue; the full parameter sweeps finish in well
+    under a minute while preserving the qualitative shapes of the figures.
+``paper``
+    The paper's setting: five 1368 m x 1368 m floors with ≈700 partitions and
+    ≈1000 doors, δs2t from 1100 m to 1900 m.
+
+The defaults are in bold in Table II: ``|T| = 8``, ``δs2t = 1500 m``,
+``t = 12:00`` — the ``ParameterGrid`` objects below carry the scaled
+equivalents.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import ExperimentResult, run_query_set
+from repro.core.engine import CheckMethod, ITSPQEngine
+from repro.core.itgraph import ITGraph, build_itgraph
+from repro.core.query import ITSPQuery
+from repro.synthetic.multifloor import MallVenue, MultiFloorConfig, generate_mall_venue
+from repro.synthetic.floorplan import MallFloorConfig
+from repro.synthetic.queries import QueryWorkloadConfig, generate_query_instances
+from repro.synthetic.schedules import ScheduleConfig, generate_schedule
+
+
+class ExperimentScale(enum.Enum):
+    """Venue / workload scale at which an experiment is run."""
+
+    TINY = "tiny"
+    SMALL = "small"
+    PAPER = "paper"
+
+
+@dataclass
+class ParameterGrid:
+    """The experiment parameter grid (the reproduction of Table II)."""
+
+    checkpoint_counts: Sequence[int]
+    s2t_distances: Sequence[float]
+    query_times: Sequence[str]
+    default_checkpoints: int
+    default_s2t: float
+    default_time: str = "12:00"
+    query_pairs: int = 5
+    repetitions: int = 10
+    venue_config: MultiFloorConfig = field(default_factory=MultiFloorConfig)
+    venue_seed: int = 7
+    schedule_seed: int = 11
+    workload_seed: int = 23
+
+
+def default_grid(scale: ExperimentScale = ExperimentScale.SMALL) -> ParameterGrid:
+    """The parameter grid for a given scale.
+
+    At ``paper`` scale this is exactly Table II; the smaller scales shrink the
+    venue and the δs2t values proportionally so that query paths still span a
+    large fraction of the venue.
+    """
+    if scale is ExperimentScale.PAPER:
+        return ParameterGrid(
+            checkpoint_counts=(4, 8, 12, 16),
+            s2t_distances=(1100, 1300, 1500, 1700, 1900),
+            query_times=[f"{hour}:00" for hour in range(0, 24, 2)],
+            default_checkpoints=8,
+            default_s2t=1500,
+            venue_config=MultiFloorConfig.paper_default(),
+        )
+    if scale is ExperimentScale.SMALL:
+        return ParameterGrid(
+            checkpoint_counts=(4, 8, 12, 16),
+            s2t_distances=(200, 300, 400, 500, 600),
+            query_times=[f"{hour}:00" for hour in range(0, 24, 2)],
+            default_checkpoints=8,
+            default_s2t=400,
+            query_pairs=5,
+            repetitions=5,
+            venue_config=MultiFloorConfig.small(floors=2),
+        )
+    return ParameterGrid(
+        checkpoint_counts=(4, 8),
+        s2t_distances=(100, 200),
+        query_times=("8:00", "12:00", "22:00"),
+        default_checkpoints=4,
+        default_s2t=150,
+        query_pairs=2,
+        repetitions=2,
+        venue_config=MultiFloorConfig(
+            floors=1,
+            staircases_per_floor_pair=0,
+            floor_config=MallFloorConfig(
+                side=300.0,
+                corridors=2,
+                corridor_cells=3,
+                shop_depth=25.0,
+                shops_per_row=6,
+                double_door_fraction=0.3,
+            ),
+        ),
+    )
+
+
+@dataclass
+class BenchmarkEnvironment:
+    """A ready-to-query environment: venue, schedule, IT-Graph, engine, workload."""
+
+    grid: ParameterGrid
+    venue: MallVenue
+    itgraph: ITGraph
+    engine: ITSPQEngine
+    checkpoint_count: int
+    queries: List[ITSPQuery]
+
+
+_VENUE_CACHE: Dict[Tuple[int, str], MallVenue] = {}
+
+
+def _venue_for(grid: ParameterGrid, scale_key: str) -> MallVenue:
+    """Venue generation is the slow part of environment set-up; cache it."""
+    key = (grid.venue_seed, scale_key)
+    if key not in _VENUE_CACHE:
+        _VENUE_CACHE[key] = generate_mall_venue(grid.venue_config, seed=grid.venue_seed)
+    return _VENUE_CACHE[key]
+
+
+def build_environment(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    checkpoint_count: Optional[int] = None,
+    s2t_distance: Optional[float] = None,
+    query_time: Optional[str] = None,
+    grid: Optional[ParameterGrid] = None,
+) -> BenchmarkEnvironment:
+    """Assemble venue + schedule + IT-Graph + workload for one setting."""
+    grid = grid or default_grid(scale)
+    checkpoint_count = checkpoint_count or grid.default_checkpoints
+    s2t_distance = s2t_distance or grid.default_s2t
+    query_time = query_time or grid.default_time
+
+    venue = _venue_for(grid, scale.value)
+    schedule, _ = generate_schedule(
+        venue.space,
+        ScheduleConfig(checkpoint_count=checkpoint_count, seed=grid.schedule_seed),
+    )
+    itgraph = build_itgraph(venue.space, schedule, validate=False)
+    engine = ITSPQEngine(itgraph)
+    workload = generate_query_instances(
+        itgraph,
+        QueryWorkloadConfig(
+            s2t_distance=s2t_distance,
+            pairs=grid.query_pairs,
+            query_time=query_time,
+            seed=grid.workload_seed,
+        ),
+    )
+    queries = [generated.query for generated in workload]
+    return BenchmarkEnvironment(
+        grid=grid,
+        venue=venue,
+        itgraph=itgraph,
+        engine=engine,
+        checkpoint_count=checkpoint_count,
+        queries=queries,
+    )
+
+
+_METHODS: Tuple[CheckMethod, ...] = (CheckMethod.SYNCHRONOUS, CheckMethod.ASYNCHRONOUS)
+
+
+def experiment_fig4(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    grid: Optional[ParameterGrid] = None,
+) -> ExperimentResult:
+    """Figure 4: search time vs. checkpoint-set size ``|T|``.
+
+    The paper plots ITG/S and ITG/A at t = 12:00 (insensitive to ``|T|``) and
+    at t = 8:00 (faster with larger ``|T|`` because more doors are closed).
+    """
+    grid = grid or default_grid(scale)
+    result = ExperimentResult(
+        name="fig4",
+        description="Search time vs |T| (query times 12:00 and 8:00)",
+        parameters={"s2t": grid.default_s2t, "scale": scale.value},
+    )
+    for checkpoint_count in grid.checkpoint_counts:
+        for query_time in ("12:00", "8:00"):
+            environment = build_environment(
+                scale,
+                checkpoint_count=checkpoint_count,
+                s2t_distance=grid.default_s2t,
+                query_time=query_time,
+                grid=grid,
+            )
+            for method in _METHODS:
+                measurement = run_query_set(
+                    environment.engine,
+                    environment.queries,
+                    method,
+                    repetitions=grid.repetitions,
+                )
+                result.add_row(
+                    measurement.as_row(
+                        checkpoints=checkpoint_count,
+                        query_time=query_time,
+                        method=f"{method.label}(t={query_time})",
+                    )
+                )
+    return result
+
+
+def experiment_fig5(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    grid: Optional[ParameterGrid] = None,
+) -> ExperimentResult:
+    """Figure 5: search time vs. source-to-target distance δs2t."""
+    grid = grid or default_grid(scale)
+    result = ExperimentResult(
+        name="fig5",
+        description="Search time vs s2t distance",
+        parameters={"checkpoints": grid.default_checkpoints, "scale": scale.value},
+    )
+    for s2t in grid.s2t_distances:
+        environment = build_environment(
+            scale,
+            checkpoint_count=grid.default_checkpoints,
+            s2t_distance=s2t,
+            query_time=grid.default_time,
+            grid=grid,
+        )
+        for method in _METHODS:
+            measurement = run_query_set(
+                environment.engine, environment.queries, method, repetitions=grid.repetitions
+            )
+            result.add_row(measurement.as_row(s2t=s2t, method=method.label))
+    return result
+
+
+def _time_sweep(
+    scale: ExperimentScale,
+    grid: ParameterGrid,
+    measure_memory: bool,
+    name: str,
+    description: str,
+) -> ExperimentResult:
+    """Shared implementation of the Figure 6 / Figure 7 time-of-day sweeps."""
+    result = ExperimentResult(
+        name=name,
+        description=description,
+        parameters={
+            "checkpoints": grid.default_checkpoints,
+            "s2t": grid.default_s2t,
+            "scale": scale.value,
+        },
+    )
+    for query_time in grid.query_times:
+        environment = build_environment(
+            scale,
+            checkpoint_count=grid.default_checkpoints,
+            s2t_distance=grid.default_s2t,
+            query_time=query_time,
+            grid=grid,
+        )
+        for method in _METHODS:
+            measurement = run_query_set(
+                environment.engine,
+                environment.queries,
+                method,
+                repetitions=grid.repetitions,
+                measure_memory=measure_memory,
+            )
+            result.add_row(measurement.as_row(query_time=query_time, method=method.label))
+    return result
+
+
+def experiment_fig6(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    grid: Optional[ParameterGrid] = None,
+) -> ExperimentResult:
+    """Figure 6: search time vs. query time of day."""
+    grid = grid or default_grid(scale)
+    return _time_sweep(scale, grid, False, "fig6", "Search time vs query time of day")
+
+
+def experiment_fig7(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    grid: Optional[ParameterGrid] = None,
+) -> ExperimentResult:
+    """Figure 7: memory cost vs. query time of day."""
+    grid = grid or default_grid(scale)
+    return _time_sweep(scale, grid, True, "fig7", "Memory cost vs query time of day")
+
+
+def experiment_ablation_checks(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    grid: Optional[ParameterGrid] = None,
+) -> ExperimentResult:
+    """Ablation: where the temporal-checking work goes.
+
+    Compares ITG/S, ITG/A, the query-time-snapshot approximation and the
+    temporal-unaware baseline on the default setting, reporting ATI probes,
+    snapshot refreshes and membership checks per query.
+    """
+    grid = grid or default_grid(scale)
+    environment = build_environment(scale, grid=grid)
+    result = ExperimentResult(
+        name="ablation-checks",
+        description="Temporal-check cost breakdown per method",
+        parameters={
+            "checkpoints": grid.default_checkpoints,
+            "s2t": grid.default_s2t,
+            "scale": scale.value,
+        },
+    )
+    for method in (
+        CheckMethod.SYNCHRONOUS,
+        CheckMethod.ASYNCHRONOUS,
+        CheckMethod.QUERY_TIME,
+        CheckMethod.STATIC,
+    ):
+        measurement = run_query_set(
+            environment.engine, environment.queries, method, repetitions=grid.repetitions
+        )
+        result.add_row(measurement.as_row(method=method.label))
+    return result
+
+
+def experiment_ablation_partition_once(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    grid: Optional[ParameterGrid] = None,
+) -> ExperimentResult:
+    """Ablation: literal Algorithm 1 partition-visited pruning vs. exact expansion."""
+    grid = grid or default_grid(scale)
+    environment = build_environment(scale, grid=grid)
+    result = ExperimentResult(
+        name="ablation-partition-once",
+        description="Effect of the partition-visited pruning of Algorithm 1",
+        parameters={"scale": scale.value},
+    )
+    for partition_once in (False, True):
+        engine = ITSPQEngine(environment.itgraph, partition_once=partition_once)
+        for method in _METHODS:
+            measurement = run_query_set(
+                engine, environment.queries, method, repetitions=grid.repetitions
+            )
+            result.add_row(
+                measurement.as_row(
+                    method=f"{method.label}{'+p1' if partition_once else ''}",
+                    partition_once=partition_once,
+                )
+            )
+    return result
+
+
+#: Registry used by the command-line entry point.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig4": experiment_fig4,
+    "fig5": experiment_fig5,
+    "fig6": experiment_fig6,
+    "fig7": experiment_fig7,
+    "ablation-checks": experiment_ablation_checks,
+    "ablation-partition-once": experiment_ablation_partition_once,
+}

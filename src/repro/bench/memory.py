@@ -1,0 +1,78 @@
+"""Memory measurement utilities.
+
+The paper reports a per-query "memory cost" in kilobytes measured inside the
+JVM.  Here two complementary measurements are provided:
+
+* :func:`measure_peak_memory` wraps a callable with :mod:`tracemalloc` and
+  reports the peak number of bytes allocated while it ran — this is what the
+  Figure 7 reproduction uses, because it captures both the search state
+  (heap, labels) and any snapshot construction triggered by ITG/A.
+* :func:`deep_sizeof` recursively accounts the resident size of a data
+  structure (graph, snapshot, result) — used to report structure sizes in
+  the ablation benchmarks and the examples.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Any, Callable, Iterable, Set, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def measure_peak_memory(function: Callable[[], T]) -> Tuple[T, int]:
+    """Run ``function`` and return ``(result, peak_allocated_bytes)``.
+
+    When a tracemalloc session is already active (nested measurements), the
+    existing session is reused and only the delta of the inner call is
+    reported.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    baseline, _ = tracemalloc.get_traced_memory()
+    try:
+        result = function()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return result, max(0, peak - baseline)
+
+
+def deep_sizeof(obj: Any, _seen: Set[int] = None) -> int:  # type: ignore[assignment]
+    """Recursively estimate the memory footprint of ``obj`` in bytes.
+
+    Follows containers, dictionaries, instance ``__dict__``s and ``__slots__``;
+    shared sub-objects are counted once.
+    """
+    seen = _seen if _seen is not None else set()
+    identifier = id(obj)
+    if identifier in seen:
+        return 0
+    seen.add(identifier)
+
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        size += sum(deep_sizeof(key, seen) + deep_sizeof(value, seen) for key, value in obj.items())
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(deep_sizeof(item, seen) for item in obj)
+    elif isinstance(obj, (str, bytes, bytearray, int, float, bool, type(None))):
+        return size
+
+    if hasattr(obj, "__dict__"):
+        size += deep_sizeof(vars(obj), seen)
+    slots = getattr(type(obj), "__slots__", ())
+    if slots:
+        names: Iterable[str] = (slots,) if isinstance(slots, str) else slots
+        for name in names:
+            if hasattr(obj, name):
+                size += deep_sizeof(getattr(obj, name), seen)
+    return size
+
+
+def bytes_to_kb(value: float) -> float:
+    """Convert bytes to kilobytes (the unit Figure 7 uses)."""
+    return value / 1024.0

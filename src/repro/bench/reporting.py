@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same series the paper plots; no plotting
+dependency is required — the output is aligned ASCII tables suitable for the
+terminal or EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import ExperimentResult
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``rows`` as an aligned ASCII table."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {column: len(str(column)) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def format_experiment(result: ExperimentResult, columns: Optional[Sequence[str]] = None) -> str:
+    """Render one experiment: header, parameters, series table."""
+    parameter_text = ", ".join(f"{key}={value}" for key, value in result.parameters.items())
+    lines: List[str] = [
+        f"== {result.name}: {result.description} ==",
+        f"parameters: {parameter_text}" if parameter_text else "parameters: (defaults)",
+        "",
+        format_table(result.rows, columns),
+    ]
+    return "\n".join(lines)
+
+
+def summarise_speedup(result: ExperimentResult, baseline: str, contender: str) -> str:
+    """One-line summary comparing two methods' mean times across all rows."""
+    baseline_times = [row["mean_time_us"] for row in result.rows if row.get("method") == baseline]
+    contender_times = [row["mean_time_us"] for row in result.rows if row.get("method") == contender]
+    if not baseline_times or not contender_times:
+        return f"(no comparable rows for {baseline} vs {contender})"
+    baseline_mean = sum(float(t) for t in baseline_times) / len(baseline_times)
+    contender_mean = sum(float(t) for t in contender_times) / len(contender_times)
+    if contender_mean == 0:
+        return f"{contender} reported zero mean time"
+    return (
+        f"{contender} runs at {baseline_mean / contender_mean:.2f}x the speed of {baseline} "
+        f"({contender_mean:.0f} us vs {baseline_mean:.0f} us mean per query)"
+    )

@@ -1,0 +1,52 @@
+"""Physical and modelling constants shared across the library.
+
+The paper fixes the pedestrian speed to the human average walking speed of
+5 km/h (its reference [1]) and measures indoor distances in metres.  All
+distances in this library are metres, all durations are seconds, and all
+times of day are seconds since midnight.
+"""
+
+from __future__ import annotations
+
+#: Average human walking speed used to convert distances into travel times,
+#: exactly as in the paper's problem definition (5 km/h).
+WALKING_SPEED_KMH: float = 5.0
+
+#: The same walking speed expressed in metres per second.
+WALKING_SPEED_MPS: float = WALKING_SPEED_KMH * 1000.0 / 3600.0
+
+#: Number of seconds in a full day; times of day live in ``[0, SECONDS_PER_DAY)``.
+SECONDS_PER_DAY: int = 24 * 3600
+
+#: Length of the stairway connecting two adjacent floors in the synthetic
+#: multi-floor space (the paper uses staircases with a 20 m stairway).
+DEFAULT_STAIRWAY_LENGTH_M: float = 20.0
+
+#: Side length of one synthetic mall floor (the paper's floorplan is
+#: 1368 m x 1368 m after scaling).
+DEFAULT_FLOOR_SIDE_M: float = 1368.0
+
+#: Numerical tolerance used when comparing distances and coordinates.
+DISTANCE_EPSILON: float = 1e-9
+
+
+def travel_time_seconds(distance_m: float, speed_mps: float = WALKING_SPEED_MPS) -> float:
+    """Return the walking time in seconds needed to cover ``distance_m`` metres.
+
+    Parameters
+    ----------
+    distance_m:
+        Distance to cover, in metres.  Must be non-negative.
+    speed_mps:
+        Walking speed in metres per second; defaults to the paper's 5 km/h.
+
+    Raises
+    ------
+    ValueError
+        If ``distance_m`` is negative or ``speed_mps`` is not positive.
+    """
+    if distance_m < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_m}")
+    if speed_mps <= 0:
+        raise ValueError(f"speed must be positive, got {speed_mps}")
+    return distance_m / speed_mps

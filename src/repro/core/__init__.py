@@ -1,0 +1,65 @@
+"""The paper's primary contribution: the IT-Graph and ITSPQ query processing.
+
+Contents
+--------
+:mod:`repro.core.itgraph`
+    The Indoor Temporal-variation Graph (IT-Graph) of Section II-A: the
+    accessibility topology decorated with a partition table (types + distance
+    matrices) and a door table (types + ATIs).
+:mod:`repro.core.snapshot`
+    ``Graph_Update`` (Algorithm 3): reduced topology snapshots per checkpoint
+    interval.
+:mod:`repro.core.tvcheck`
+    The temporal-validity check strategies: ``Syn_Check`` (Algorithm 2),
+    ``Asyn_Check`` (Algorithm 4) and a temporal-unaware baseline check.
+:mod:`repro.core.engine`
+    ``ITSPQ_ITGraph`` (Algorithm 1): the door-level Dijkstra that answers
+    ITSPQ, in the two flavours the paper evaluates (ITG/S and ITG/A).
+:mod:`repro.core.path` / :mod:`repro.core.query`
+    Query and result value objects, including per-hop arrival times and
+    re-validation of returned paths.
+:mod:`repro.core.baselines` / :mod:`repro.core.reference`
+    Temporal-unaware baselines and independent reference implementations used
+    as correctness oracles by the test-suite.
+"""
+
+from repro.core.itgraph import DoorRecord, ITGraph, PartitionRecord, build_itgraph
+from repro.core.snapshot import GraphSnapshot, GraphUpdater
+from repro.core.tvcheck import (
+    AsynchronousCheck,
+    StaticCheck,
+    SynchronousCheck,
+    TVCheckStrategy,
+)
+from repro.core.path import IndoorPath, PathHop
+from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
+from repro.core.engine import CheckMethod, ITSPQEngine
+from repro.core.baselines import static_shortest_path, query_time_snapshot_path
+from repro.core.reference import (
+    selection_dijkstra_reference,
+    time_expanded_exact,
+)
+
+__all__ = [
+    "ITGraph",
+    "DoorRecord",
+    "PartitionRecord",
+    "build_itgraph",
+    "GraphSnapshot",
+    "GraphUpdater",
+    "TVCheckStrategy",
+    "SynchronousCheck",
+    "AsynchronousCheck",
+    "StaticCheck",
+    "IndoorPath",
+    "PathHop",
+    "ITSPQuery",
+    "QueryResult",
+    "SearchStatistics",
+    "ITSPQEngine",
+    "CheckMethod",
+    "static_shortest_path",
+    "query_time_snapshot_path",
+    "selection_dijkstra_reference",
+    "time_expanded_exact",
+]

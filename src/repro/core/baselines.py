@@ -1,0 +1,59 @@
+"""Baseline query methods the paper's introduction argues against.
+
+Two baselines are provided:
+
+* :func:`static_shortest_path` — a temporal-variation-*unaware* indoor
+  shortest path (the state of the art before the paper).  It still honours
+  the private-partition rule but ignores door schedules entirely, so the path
+  it returns may cross doors that are closed when the user gets there.  The
+  examples use it to demonstrate *why* ITSPQ is needed.
+* :func:`query_time_snapshot_path` — the tempting shortcut of filtering the
+  graph once at the query time ``t`` and running a static search on the
+  remaining doors.  It is cheap but wrong in both directions: it may use a
+  door that closes before the user arrives, and it may miss a path through a
+  door that opens a few minutes after ``t``.  The ablation benchmark counts
+  how often each failure mode occurs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import CheckMethod, ITSPQEngine
+from repro.core.itgraph import ITGraph
+from repro.core.query import QueryResult
+from repro.geometry.point import IndoorPoint
+from repro.temporal.timeofday import TimeLike
+
+
+def static_shortest_path(
+    itgraph: ITGraph,
+    source: IndoorPoint,
+    target: IndoorPoint,
+    query_time: TimeLike,
+    engine: Optional[ITSPQEngine] = None,
+) -> QueryResult:
+    """Temporal-unaware indoor shortest path (pre-ITSPQ state of the art).
+
+    The returned :class:`~repro.core.query.QueryResult` carries the query
+    time so that callers can re-validate the path against the door schedules
+    (``result.path.validate(itgraph)``) and observe rule-1 violations.
+    """
+    engine = engine if engine is not None else ITSPQEngine(itgraph)
+    return engine.query(source, target, query_time, method=CheckMethod.STATIC)
+
+
+def query_time_snapshot_path(
+    itgraph: ITGraph,
+    source: IndoorPoint,
+    target: IndoorPoint,
+    query_time: TimeLike,
+    engine: Optional[ITSPQEngine] = None,
+) -> QueryResult:
+    """Shortest path over the doors open *at the query time only*.
+
+    Equivalent to snapshotting the graph at ``t`` and ignoring that doors may
+    open or close while the user is walking.
+    """
+    engine = engine if engine is not None else ITSPQEngine(itgraph)
+    return engine.query(source, target, query_time, method=CheckMethod.QUERY_TIME)

@@ -1,0 +1,272 @@
+"""The Indoor Temporal-variation Graph (IT-Graph), Section II-A of the paper.
+
+``G_IT(V, E, L_V, L_E)``:
+
+* ``V`` — one vertex per indoor partition;
+* ``E`` — directed edges ``(v_i, v_j, d_k)``: one can reach ``v_j`` from
+  ``v_i`` through door ``d_k``;
+* ``L_V`` — the **partition table**: per partition its access type
+  (PBP / PRP) and the intra-partition door-to-door distance matrix ``DM``;
+* ``L_E`` — the **door table**: per door its access type (PBD / PRD) and its
+  Active Time Intervals.
+
+The IT-Graph is built once from an :class:`~repro.indoor.space.IndoorSpace`
+and a :class:`~repro.temporal.schedule.DoorSchedule` and is immutable
+thereafter; the asynchronous method derives reduced *snapshots* from it (see
+:mod:`repro.core.snapshot`) instead of mutating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.exceptions import UnknownEntityError
+from repro.geometry.point import IndoorPoint
+from repro.indoor.distance import DistanceMatrix, build_distance_matrices, point_to_door_distance
+from repro.indoor.entities import Door, DoorType, Partition, PartitionType
+from repro.indoor.space import IndoorSpace
+from repro.indoor.topology import Topology
+from repro.temporal.atis import ATISet
+from repro.temporal.checkpoints import CheckpointSet
+from repro.temporal.schedule import DoorSchedule
+from repro.temporal.timeofday import TimeLike
+
+
+@dataclass(frozen=True)
+class DoorRecord:
+    """One row of the IT-Graph's door table: ``(ID_d, d-type, ATIs)``."""
+
+    door_id: str
+    door_type: DoorType
+    atis: ATISet
+    position: IndoorPoint
+
+    @property
+    def has_temporal_variation(self) -> bool:
+        """``True`` unless the door is open around the clock."""
+        always = ATISet.always_open()
+        return self.atis != always
+
+    def is_open(self, instant: TimeLike) -> bool:
+        """Return ``True`` when the door is open at ``instant``."""
+        return self.atis.contains(instant)
+
+
+@dataclass(frozen=True)
+class PartitionRecord:
+    """One row of the IT-Graph's partition table: ``(ID_v, p-type, DM)``."""
+
+    partition_id: str
+    partition_type: PartitionType
+    distance_matrix: DistanceMatrix
+    floor: int
+    is_outdoor: bool = False
+
+    @property
+    def is_private(self) -> bool:
+        """``True`` for private (PRP) partitions."""
+        return self.partition_type.is_private
+
+
+class ITGraph:
+    """The composite IT-Graph structure.
+
+    The graph owns
+
+    * the full (temporal-variation-agnostic) topology ``G^0_IT``,
+    * the door table and partition table,
+    * the checkpoint set ``T`` derived from all door ATIs, and
+    * a reference to the originating :class:`IndoorSpace` for point location
+      and point-to-door geometry.
+    """
+
+    def __init__(
+        self,
+        space: IndoorSpace,
+        door_table: Dict[str, DoorRecord],
+        partition_table: Dict[str, PartitionRecord],
+        checkpoints: CheckpointSet,
+    ):
+        self._space = space
+        self._door_table = dict(door_table)
+        self._partition_table = dict(partition_table)
+        self._checkpoints = checkpoints
+        self._topology = space.topology
+
+    # -- basic accessors --------------------------------------------------------
+
+    @property
+    def space(self) -> IndoorSpace:
+        """The indoor space the graph was built from."""
+        return self._space
+
+    @property
+    def topology(self) -> Topology:
+        """The full topology ``G^0_IT`` ignoring temporal variation."""
+        return self._topology
+
+    @property
+    def checkpoints(self) -> CheckpointSet:
+        """The checkpoint set ``T``: all distinct door open/close instants."""
+        return self._checkpoints
+
+    @property
+    def door_table(self) -> Dict[str, DoorRecord]:
+        """The door table ``L_E`` keyed by door identifier."""
+        return dict(self._door_table)
+
+    @property
+    def partition_table(self) -> Dict[str, PartitionRecord]:
+        """The partition table ``L_V`` keyed by partition identifier."""
+        return dict(self._partition_table)
+
+    def door_ids(self) -> List[str]:
+        """All door identifiers (``π_D(E)`` in the paper)."""
+        return list(self._door_table)
+
+    def partition_ids(self) -> List[str]:
+        """All partition identifiers."""
+        return list(self._partition_table)
+
+    def door_record(self, door_id: str) -> DoorRecord:
+        """Door-table row for ``door_id``."""
+        try:
+            return self._door_table[door_id]
+        except KeyError as exc:
+            raise UnknownEntityError(f"unknown door {door_id!r}") from exc
+
+    def partition_record(self, partition_id: str) -> PartitionRecord:
+        """Partition-table row for ``partition_id``."""
+        try:
+            return self._partition_table[partition_id]
+        except KeyError as exc:
+            raise UnknownEntityError(f"unknown partition {partition_id!r}") from exc
+
+    def door_count(self) -> int:
+        """Number of doors in the graph."""
+        return len(self._door_table)
+
+    def partition_count(self) -> int:
+        """Number of partitions in the graph."""
+        return len(self._partition_table)
+
+    # -- temporal queries --------------------------------------------------------
+
+    def door_open_at(self, door_id: str, instant: TimeLike) -> bool:
+        """Return ``True`` when ``door_id`` is open at ``instant``."""
+        return self.door_record(door_id).is_open(instant)
+
+    def doors_closed_at(self, instant: TimeLike) -> FrozenSet[str]:
+        """``Get_Closed_Door``: all doors closed at ``instant``."""
+        return frozenset(
+            door_id
+            for door_id, record in self._door_table.items()
+            if not record.atis.contains(instant)
+        )
+
+    def doors_open_at(self, instant: TimeLike) -> FrozenSet[str]:
+        """All doors open at ``instant``."""
+        return frozenset(
+            door_id
+            for door_id, record in self._door_table.items()
+            if record.atis.contains(instant)
+        )
+
+    # -- geometric / distance queries ----------------------------------------------
+
+    def intra_distance(self, partition_id: str, door_a: str, door_b: str) -> float:
+        """``DM(v, d_i, d_j)``: walking distance between two doors inside one partition."""
+        return self.partition_record(partition_id).distance_matrix.distance(door_a, door_b)
+
+    def point_to_door(self, point: IndoorPoint, door_id: str, partition_id: Optional[str] = None) -> float:
+        """``|d_i, p|_E``: distance from a point to a door of its covering partition."""
+        partition = self._space.partition(partition_id) if partition_id else None
+        return point_to_door_distance(self._space, point, door_id, partition)
+
+    def covering_partition(self, point: IndoorPoint) -> Partition:
+        """``P(p)``: the partition that covers ``point``."""
+        return self._space.locate(point)
+
+    def door_position(self, door_id: str) -> IndoorPoint:
+        """The position of ``door_id``."""
+        return self.door_record(door_id).position
+
+    # -- statistics -------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics for reports: sizes, temporal-variation coverage."""
+        temporal_doors = sum(
+            1 for record in self._door_table.values() if record.has_temporal_variation
+        )
+        return {
+            "partitions": len(self._partition_table),
+            "doors": len(self._door_table),
+            "directed_edges": self._topology.edge_count(),
+            "checkpoints": len(self._checkpoints),
+            "doors_with_temporal_variation": temporal_doors,
+            "private_partitions": sum(
+                1 for record in self._partition_table.values() if record.is_private
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ITGraph({len(self._partition_table)} partitions, {len(self._door_table)} doors, "
+            f"|T|={len(self._checkpoints)})"
+        )
+
+
+def build_itgraph(
+    space: IndoorSpace,
+    schedule: Optional[DoorSchedule] = None,
+    door_types: Optional[Dict[str, DoorType]] = None,
+    validate: bool = True,
+) -> ITGraph:
+    """Construct the IT-Graph of ``space`` under ``schedule``.
+
+    Parameters
+    ----------
+    space:
+        The indoor venue (partitions, doors, connections).
+    schedule:
+        The temporal variation of the doors.  Doors absent from the schedule
+        are treated as always open.  ``None`` means no temporal variation at
+        all (useful for baselines and tests).
+    door_types:
+        Optional per-door access-type override; by default the door's own
+        ``door_type`` attribute is used.
+    validate:
+        When ``True`` (default) the space is validated and the schedule is
+        checked to reference only existing doors.
+    """
+    if schedule is None:
+        schedule = DoorSchedule()
+    if validate:
+        space.validate()
+        schedule.validate_doors(space.door_ids())
+
+    matrices = build_distance_matrices(space)
+
+    door_table: Dict[str, DoorRecord] = {}
+    for door in space.iter_doors():
+        door_type = (door_types or {}).get(door.door_id, door.door_type)
+        door_table[door.door_id] = DoorRecord(
+            door_id=door.door_id,
+            door_type=door_type,
+            atis=schedule.atis_for(door.door_id),
+            position=door.position,
+        )
+
+    partition_table: Dict[str, PartitionRecord] = {}
+    for partition in space.iter_partitions():
+        partition_table[partition.partition_id] = PartitionRecord(
+            partition_id=partition.partition_id,
+            partition_type=partition.partition_type,
+            distance_matrix=matrices[partition.partition_id],
+            floor=partition.floor,
+            is_outdoor=partition.is_outdoor,
+        )
+
+    checkpoints = schedule.checkpoints()
+    return ITGraph(space, door_table, partition_table, checkpoints)

@@ -1,0 +1,297 @@
+"""Indoor path value objects with per-hop arrival times and re-validation.
+
+A valid ITSPQ answer is more than a door sequence: rule 1 of the problem
+definition ties every door to the *arrival time* implied by the path prefix
+leading to it.  :class:`IndoorPath` therefore records, per crossed door, the
+cumulative walking distance and the arrival time, and can re-check both rules
+against an IT-Graph — the property the test-suite leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.constants import WALKING_SPEED_MPS
+from repro.geometry.point import IndoorPoint
+from repro.temporal.timeofday import TimeOfDay
+
+
+@dataclass(frozen=True)
+class PathHop:
+    """One door crossing along an indoor path.
+
+    Attributes
+    ----------
+    door_id:
+        The door crossed.
+    from_partition / to_partition:
+        The partition the traveller leaves and the partition entered through
+        the door.
+    distance_from_source:
+        Cumulative walking distance from the source point up to this door.
+    arrival_time:
+        Wall-clock arrival time at the door (query time + walking time).
+    """
+
+    door_id: str
+    from_partition: str
+    to_partition: str
+    distance_from_source: float
+    arrival_time: TimeOfDay
+
+
+@dataclass(frozen=True)
+class PathViolation:
+    """One violated ITSPQ rule found when re-validating a path."""
+
+    rule: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.subject}: {self.detail}"
+
+
+class IndoorPath:
+    """An indoor route from a source point to a target point.
+
+    The path is the sequence ``(p_s, d_1, d_2, ..., d_k, p_t)`` of the paper,
+    enriched with the partitions traversed, the per-hop cumulative distances
+    and arrival times, and the total length.
+    """
+
+    __slots__ = ("source", "target", "query_time", "hops", "total_length", "method_label")
+
+    def __init__(
+        self,
+        source: IndoorPoint,
+        target: IndoorPoint,
+        query_time: TimeOfDay,
+        hops: Sequence[PathHop],
+        total_length: float,
+        method_label: str = "",
+    ):
+        self.source = source
+        self.target = target
+        self.query_time = query_time
+        self.hops: Tuple[PathHop, ...] = tuple(hops)
+        self.total_length = float(total_length)
+        self.method_label = method_label
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def door_sequence(self) -> List[str]:
+        """Identifiers of the doors crossed, in order."""
+        return [hop.door_id for hop in self.hops]
+
+    @property
+    def partition_sequence(self) -> List[str]:
+        """Partitions traversed, in order, starting with the source partition."""
+        if not self.hops:
+            return []
+        partitions = [self.hops[0].from_partition]
+        for hop in self.hops:
+            partitions.append(hop.to_partition)
+        return partitions
+
+    @property
+    def door_count(self) -> int:
+        """Number of doors crossed."""
+        return len(self.hops)
+
+    @property
+    def arrival_time_at_target(self) -> TimeOfDay:
+        """Wall-clock arrival time at the target point."""
+        return self.query_time.add_seconds(self.total_length / WALKING_SPEED_MPS)
+
+    def travel_time_seconds(self, walking_speed: float = WALKING_SPEED_MPS) -> float:
+        """Total walking time along the path."""
+        return self.total_length / walking_speed
+
+    def as_node_sequence(self) -> List[str]:
+        """The paper's textual path representation: ``[p_s, d_1, ..., d_k, p_t]``."""
+        return ["p_s"] + self.door_sequence + ["p_t"]
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        nodes = ", ".join(["ps"] + self.door_sequence + ["pt"])
+        return f"({nodes}) length={self.total_length:.1f} m doors={self.door_count}"
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(
+        self,
+        itgraph,
+        walking_speed: float = WALKING_SPEED_MPS,
+        distance_tolerance: float = 1e-6,
+    ) -> List[PathViolation]:
+        """Re-check both ITSPQ rules and the internal consistency of the path.
+
+        Returns the list of violations (empty when the path is valid).  The
+        checks performed:
+
+        * **rule 1** — every hop's door is open at its arrival time;
+        * **rule 2** — no traversed partition is private unless it covers the
+          source or target point;
+        * **consistency** — hop distances are non-decreasing, arrival times
+          match ``query_time + distance / speed``, consecutive hops share a
+          partition, and every door actually connects the partitions claimed.
+        """
+        violations: List[PathViolation] = []
+        topology = itgraph.topology
+
+        source_partition = itgraph.covering_partition(self.source).partition_id
+        target_partition = itgraph.covering_partition(self.target).partition_id
+        allowed_private = {source_partition, target_partition}
+
+        previous_distance = 0.0
+        previous_to_partition: Optional[str] = None
+        for index, hop in enumerate(self.hops):
+            record = itgraph.door_record(hop.door_id)
+
+            # Rule 1: door open at arrival time.
+            if not record.atis.contains(hop.arrival_time):
+                violations.append(
+                    PathViolation(
+                        rule="rule-1",
+                        subject=hop.door_id,
+                        detail=f"closed at arrival time {hop.arrival_time} (ATIs {record.atis})",
+                    )
+                )
+
+            # Rule 2: no private partitions other than the endpoints' own.
+            for partition_id in (hop.from_partition, hop.to_partition):
+                partition_record = itgraph.partition_record(partition_id)
+                if partition_record.is_private and partition_id not in allowed_private:
+                    violations.append(
+                        PathViolation(
+                            rule="rule-2",
+                            subject=partition_id,
+                            detail=f"path traverses private partition via door {hop.door_id}",
+                        )
+                    )
+
+            # Consistency: arrival time derived from distance.
+            expected_arrival = self.query_time.add_seconds(hop.distance_from_source / walking_speed)
+            if abs(expected_arrival.seconds - hop.arrival_time.seconds) > 1e-6:
+                violations.append(
+                    PathViolation(
+                        rule="consistency",
+                        subject=hop.door_id,
+                        detail=(
+                            f"arrival time {hop.arrival_time} does not match distance "
+                            f"{hop.distance_from_source:.3f} m at {walking_speed:.3f} m/s"
+                        ),
+                    )
+                )
+
+            # Consistency: cumulative distances never decrease.
+            if hop.distance_from_source + distance_tolerance < previous_distance:
+                violations.append(
+                    PathViolation(
+                        rule="consistency",
+                        subject=hop.door_id,
+                        detail="cumulative distance decreases along the path",
+                    )
+                )
+            previous_distance = hop.distance_from_source
+
+            # Consistency: the door connects the claimed partitions in the claimed direction.
+            if topology.has_door(hop.door_id):
+                if hop.from_partition not in topology.leaveable_partitions(hop.door_id) or (
+                    hop.to_partition not in topology.enterable_partitions(hop.door_id)
+                ):
+                    violations.append(
+                        PathViolation(
+                            rule="consistency",
+                            subject=hop.door_id,
+                            detail=(
+                                f"door does not allow crossing from {hop.from_partition} "
+                                f"to {hop.to_partition}"
+                            ),
+                        )
+                    )
+            else:
+                violations.append(
+                    PathViolation(
+                        rule="consistency",
+                        subject=hop.door_id,
+                        detail="door is not part of the IT-Graph",
+                    )
+                )
+
+            # Consistency: consecutive hops chain through shared partitions.
+            if index > 0 and previous_to_partition is not None:
+                if hop.from_partition != previous_to_partition:
+                    violations.append(
+                        PathViolation(
+                            rule="consistency",
+                            subject=hop.door_id,
+                            detail=(
+                                f"hop leaves partition {hop.from_partition} but the previous hop "
+                                f"entered {previous_to_partition}"
+                            ),
+                        )
+                    )
+            previous_to_partition = hop.to_partition
+
+        # Endpoint partitions must match the hop chain.
+        if self.hops:
+            if self.hops[0].from_partition != source_partition:
+                violations.append(
+                    PathViolation(
+                        rule="consistency",
+                        subject=self.hops[0].door_id,
+                        detail=(
+                            f"path starts in {self.hops[0].from_partition} but the source point "
+                            f"lies in {source_partition}"
+                        ),
+                    )
+                )
+            if self.hops[-1].to_partition != target_partition:
+                violations.append(
+                    PathViolation(
+                        rule="consistency",
+                        subject=self.hops[-1].door_id,
+                        detail=(
+                            f"path ends in {self.hops[-1].to_partition} but the target point "
+                            f"lies in {target_partition}"
+                        ),
+                    )
+                )
+        else:
+            if source_partition != target_partition:
+                violations.append(
+                    PathViolation(
+                        rule="consistency",
+                        subject="<empty path>",
+                        detail="a door-free path requires source and target in the same partition",
+                    )
+                )
+
+        return violations
+
+    def is_valid(self, itgraph, walking_speed: float = WALKING_SPEED_MPS) -> bool:
+        """``True`` when :meth:`validate` finds no violations."""
+        return not self.validate(itgraph, walking_speed)
+
+    # -- dunder ----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IndoorPath):
+            return NotImplemented
+        return (
+            self.source == other.source
+            and self.target == other.target
+            and self.query_time == other.query_time
+            and self.door_sequence == other.door_sequence
+            and abs(self.total_length - other.total_length) < 1e-9
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndoorPath({self.describe()})"

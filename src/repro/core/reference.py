@@ -1,0 +1,225 @@
+"""Independent reference implementations used as correctness oracles.
+
+The test-suite never trusts the main engine to check itself.  This module
+provides two deliberately different implementations of the ITSPQ semantics:
+
+* :func:`selection_dijkstra_reference` — a selection-based (O(n²), heap-free)
+  Dijkstra over an explicitly materialised door-to-door adjacency list, with
+  the synchronous temporal rule applied inline.  Same label-setting semantics
+  as Algorithm 1, different code path and data structures.
+* :func:`time_expanded_exact` — an exhaustive branch-and-bound search over
+  simple door sequences.  It explores *all* simple valid paths (not only the
+  greedy label-setting ones), so it can find valid detours that arrive at a
+  door after it opens even when the shortest prefix would arrive too early.
+  It is exponential and only meant for small venues in tests; it also powers
+  the "future work" waiting-free exactness analysis in the examples.
+
+Both return light-weight result tuples rather than :class:`QueryResult` so
+that they share no code with the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.constants import WALKING_SPEED_MPS
+from repro.core.itgraph import ITGraph
+from repro.exceptions import UnknownEntityError
+from repro.geometry.point import IndoorPoint
+from repro.temporal.timeofday import TimeLike, as_time_of_day
+
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class ReferenceAnswer:
+    """Result of a reference computation: reachability, length, door sequence."""
+
+    found: bool
+    length: float
+    doors: Tuple[str, ...]
+
+    @classmethod
+    def unreachable(cls) -> "ReferenceAnswer":
+        return cls(False, _INFINITY, ())
+
+
+def _endpoint_partitions(itgraph: ITGraph, source: IndoorPoint, target: IndoorPoint) -> Tuple[str, str]:
+    return (
+        itgraph.covering_partition(source).partition_id,
+        itgraph.covering_partition(target).partition_id,
+    )
+
+
+def _point_to_door(itgraph: ITGraph, point: IndoorPoint, door_id: str, partition_id: str) -> Optional[float]:
+    try:
+        return itgraph.point_to_door(point, door_id, partition_id)
+    except UnknownEntityError:
+        return None
+
+
+def _routable(itgraph: ITGraph, partition_id: str, allowed_private: Set[str]) -> bool:
+    record = itgraph.partition_record(partition_id)
+    if record.is_outdoor:
+        return False
+    if record.is_private and partition_id not in allowed_private:
+        return False
+    return True
+
+
+def selection_dijkstra_reference(
+    itgraph: ITGraph,
+    source: IndoorPoint,
+    target: IndoorPoint,
+    query_time: TimeLike,
+    walking_speed: float = WALKING_SPEED_MPS,
+) -> ReferenceAnswer:
+    """Label-setting reference with the same semantics as Algorithm 1.
+
+    Works on door labels selected by linear scan (no heap), with door-to-door
+    moves enumerated from the topology on the fly.  Used to cross-check the
+    engine's ITG/S and ITG/A answers.
+    """
+    t = as_time_of_day(query_time)
+    topology = itgraph.topology
+    source_pid, target_pid = _endpoint_partitions(itgraph, source, target)
+    allowed_private = {source_pid, target_pid}
+
+    def door_open_on_arrival(door_id: str, distance: float) -> bool:
+        arrival = t.add_seconds(distance / walking_speed)
+        return itgraph.door_record(door_id).atis.contains(arrival)
+
+    dist: Dict[str, float] = {}
+    prev: Dict[str, str] = {}
+    best_target = _INFINITY
+    best_last_door: Optional[str] = None
+
+    # Direct, door-free path.
+    if source_pid == target_pid and source.floor == target.floor:
+        best_target = source.point2d.distance_to(target.point2d)
+
+    # Seed labels from the source point.
+    for door_id in topology.leaveable_doors(source_pid):
+        leg = _point_to_door(itgraph, source, door_id, source_pid)
+        if leg is None:
+            continue
+        if not door_open_on_arrival(door_id, leg):
+            continue
+        if leg < dist.get(door_id, _INFINITY):
+            dist[door_id] = leg
+            prev[door_id] = ""
+
+    settled: Set[str] = set()
+    while True:
+        # Select the unsettled door with the smallest label by linear scan.
+        current: Optional[str] = None
+        current_distance = _INFINITY
+        for door_id, value in dist.items():
+            if door_id not in settled and value < current_distance:
+                current, current_distance = door_id, value
+        if current is None or current_distance >= best_target:
+            break
+        settled.add(current)
+
+        for partition_id in topology.enterable_partitions(current):
+            if not _routable(itgraph, partition_id, allowed_private):
+                continue
+            if partition_id == target_pid:
+                final_leg = _point_to_door(itgraph, target, current, partition_id)
+                if final_leg is not None and current_distance + final_leg < best_target:
+                    best_target = current_distance + final_leg
+                    best_last_door = current
+            for next_door in topology.leaveable_doors(partition_id):
+                if next_door == current or next_door in settled:
+                    continue
+                try:
+                    leg = itgraph.intra_distance(partition_id, current, next_door)
+                except UnknownEntityError:
+                    continue
+                candidate = current_distance + leg
+                if candidate >= dist.get(next_door, _INFINITY):
+                    continue
+                if not door_open_on_arrival(next_door, candidate):
+                    continue
+                dist[next_door] = candidate
+                prev[next_door] = current
+
+    if best_target is _INFINITY or best_target == _INFINITY:
+        return ReferenceAnswer.unreachable()
+
+    doors: List[str] = []
+    node = best_last_door
+    while node:
+        doors.append(node)
+        node = prev.get(node, "")
+    doors.reverse()
+    return ReferenceAnswer(True, best_target, tuple(doors))
+
+
+def time_expanded_exact(
+    itgraph: ITGraph,
+    source: IndoorPoint,
+    target: IndoorPoint,
+    query_time: TimeLike,
+    walking_speed: float = WALKING_SPEED_MPS,
+    max_doors: int = 32,
+) -> ReferenceAnswer:
+    """Exhaustive optimum over *simple* door sequences (no door repeated).
+
+    Unlike the label-setting searches, this explores longer-but-later
+    prefixes, so it finds valid paths that deliberately detour to arrive at a
+    door after it opens.  Branch-and-bound on the incumbent length keeps it
+    tractable on the test venues; ``max_doors`` caps the recursion depth.
+    """
+    t = as_time_of_day(query_time)
+    topology = itgraph.topology
+    source_pid, target_pid = _endpoint_partitions(itgraph, source, target)
+    allowed_private = {source_pid, target_pid}
+
+    best: Dict[str, object] = {"length": _INFINITY, "doors": ()}
+
+    if source_pid == target_pid and source.floor == target.floor:
+        best["length"] = source.point2d.distance_to(target.point2d)
+        best["doors"] = ()
+
+    def door_open_on_arrival(door_id: str, distance: float) -> bool:
+        arrival = t.add_seconds(distance / walking_speed)
+        return itgraph.door_record(door_id).atis.contains(arrival)
+
+    def recurse(current_door: str, distance: float, used: Set[str], doors: Tuple[str, ...]) -> None:
+        if distance >= best["length"] or len(doors) >= max_doors:
+            return
+        for partition_id in topology.enterable_partitions(current_door):
+            if not _routable(itgraph, partition_id, allowed_private):
+                continue
+            if partition_id == target_pid:
+                final_leg = _point_to_door(itgraph, target, current_door, partition_id)
+                if final_leg is not None and distance + final_leg < best["length"]:
+                    best["length"] = distance + final_leg
+                    best["doors"] = doors
+            for next_door in topology.leaveable_doors(partition_id):
+                if next_door in used or next_door == current_door:
+                    continue
+                try:
+                    leg = itgraph.intra_distance(partition_id, current_door, next_door)
+                except UnknownEntityError:
+                    continue
+                candidate = distance + leg
+                if candidate >= best["length"]:
+                    continue
+                if not door_open_on_arrival(next_door, candidate):
+                    continue
+                recurse(next_door, candidate, used | {next_door}, doors + (next_door,))
+
+    for door_id in topology.leaveable_doors(source_pid):
+        leg = _point_to_door(itgraph, source, door_id, source_pid)
+        if leg is None:
+            continue
+        if not door_open_on_arrival(door_id, leg):
+            continue
+        recurse(door_id, leg, {door_id}, (door_id,))
+
+    if best["length"] == _INFINITY:
+        return ReferenceAnswer.unreachable()
+    return ReferenceAnswer(True, float(best["length"]), tuple(best["doors"]))  # type: ignore[arg-type]

@@ -1,0 +1,102 @@
+"""Tiny hand-made venues used by unit tests and docs.
+
+These venues are deliberately minimal so that shortest paths, arrival times
+and temporal prunings can be verified by hand arithmetic in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.itgraph import ITGraph, build_itgraph
+from repro.geometry.point import IndoorPoint
+from repro.indoor.builder import IndoorSpaceBuilder
+from repro.indoor.entities import PartitionCategory, PartitionType
+from repro.indoor.space import IndoorSpace
+from repro.temporal.schedule import DoorSchedule
+
+
+def build_two_room_venue(
+    door_atis: Optional[Dict[str, list]] = None,
+) -> Tuple[ITGraph, Dict[str, IndoorPoint]]:
+    """Two 10 m x 10 m rooms side by side with a single connecting door.
+
+    Layout (floor 0)::
+
+        +----------+----------+
+        |  room-a  d1  room-b |
+        +----------+----------+
+
+    The door ``d1`` sits at ``(10, 5)``.  Returns the IT-Graph and the two
+    canonical query points ``a = (2, 5)`` and ``b = (18, 5)``; the only route
+    between them is 16 m long (8 m to the door, 8 m onwards).
+
+    ``door_atis`` optionally assigns ATIs (e.g. ``{"d1": [("8:00", "16:00")]}``);
+    by default the door is always open.
+    """
+    builder = IndoorSpaceBuilder("two-room-venue")
+    builder.add_rectangle_partition("room-a", 0, 0, 10, 10, category=PartitionCategory.SHOP)
+    builder.add_rectangle_partition("room-b", 10, 0, 20, 10, category=PartitionCategory.SHOP)
+    builder.add_door("d1", IndoorPoint(10, 5, 0), between=("room-a", "room-b"))
+    space = builder.build()
+    schedule = DoorSchedule.from_pairs(door_atis or {})
+    itgraph = build_itgraph(space, schedule)
+    points = {"a": IndoorPoint(2, 5, 0), "b": IndoorPoint(18, 5, 0)}
+    return itgraph, points
+
+
+def build_corridor_venue(
+    door_atis: Optional[Dict[str, list]] = None,
+    private_rooms: Tuple[str, ...] = (),
+) -> Tuple[ITGraph, Dict[str, IndoorPoint]]:
+    """A corridor with four rooms hanging off it and a shortcut door.
+
+    Layout (floor 0, corridor 40 m x 4 m along the bottom)::
+
+        +-------+-------+-------+-------+
+        | room1 | room2 | room3 | room4 |
+        +--c1---+--c2---+--c3---+--c4---+
+        |          corridor             |
+        +-------------------------------+
+
+    plus a direct door ``s12`` in the wall between ``room1`` and ``room2``
+    (a shortcut that avoids the corridor).  Useful for testing detours,
+    private-partition pruning (pass ``private_rooms=("room2",)``) and
+    temporal pruning of the shortcut.
+
+    Returns the IT-Graph and query points centred in each room plus one in
+    the corridor.
+    """
+    builder = IndoorSpaceBuilder("corridor-venue")
+    builder.add_rectangle_partition("corridor", 0, 0, 40, 4, category=PartitionCategory.HALLWAY)
+    room_bounds = {
+        "room1": (0, 4, 10, 12),
+        "room2": (10, 4, 20, 12),
+        "room3": (20, 4, 30, 12),
+        "room4": (30, 4, 40, 12),
+    }
+    for room, (min_x, min_y, max_x, max_y) in room_bounds.items():
+        builder.add_rectangle_partition(
+            room,
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+            partition_type=PartitionType.PRIVATE if room in private_rooms else PartitionType.PUBLIC,
+            category=PartitionCategory.SHOP,
+        )
+    for index, room in enumerate(room_bounds, start=1):
+        door_x = (index - 1) * 10 + 5
+        builder.add_door(f"c{index}", IndoorPoint(door_x, 4, 0), between=("corridor", room))
+    builder.add_door("s12", IndoorPoint(10, 8, 0), between=("room1", "room2"))
+    space = builder.build()
+    schedule = DoorSchedule.from_pairs(door_atis or {})
+    itgraph = build_itgraph(space, schedule)
+    points = {
+        "room1": IndoorPoint(5, 8, 0),
+        "room2": IndoorPoint(15, 8, 0),
+        "room3": IndoorPoint(25, 8, 0),
+        "room4": IndoorPoint(35, 8, 0),
+        "corridor": IndoorPoint(20, 2, 0),
+    }
+    return itgraph, points

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ITSPQ reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidTimeError(ReproError, ValueError):
+    """A time of day or time interval was malformed (e.g. outside a day)."""
+
+
+class InvalidGeometryError(ReproError, ValueError):
+    """A geometric primitive was constructed with inconsistent data."""
+
+
+class TopologyError(ReproError):
+    """The indoor space topology is inconsistent (unknown door/partition,
+    dangling references, duplicate identifiers, ...)."""
+
+
+class UnknownEntityError(TopologyError, KeyError):
+    """A door or partition identifier was looked up but does not exist."""
+
+
+class DuplicateEntityError(TopologyError, ValueError):
+    """A door or partition identifier was registered twice."""
+
+
+class QueryError(ReproError):
+    """An ITSPQ query was malformed (e.g. points outside the indoor space)."""
+
+
+class NoPathExistsError(QueryError):
+    """Raised by APIs that must return a path when no valid route exists.
+
+    The main query engine returns an empty :class:`~repro.core.query.QueryResult`
+    instead of raising; this exception is used by convenience wrappers that
+    promise a path.
+    """
+
+
+class SerializationError(ReproError, ValueError):
+    """A document could not be parsed into library objects."""

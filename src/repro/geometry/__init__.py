@@ -1,0 +1,45 @@
+"""Geometric primitives used by the indoor-space model.
+
+The indoor model of the paper (and of Lu et al., ICDE 2012, which it builds
+on) only needs light-weight planar geometry: 2D points, floor-aware indoor
+points, axis-aligned and general polygons for partitions, and Euclidean
+distances for intra-partition movement.  This package provides those
+primitives without any third-party dependency.
+
+Public classes
+--------------
+:class:`~repro.geometry.point.Point2D`
+    Immutable planar point.
+:class:`~repro.geometry.point.IndoorPoint`
+    Planar point tagged with a floor number — the coordinates used by doors,
+    query points and partition anchors.
+:class:`~repro.geometry.segment.LineSegment`
+    Segment with length, midpoint, intersection and point-distance helpers.
+:class:`~repro.geometry.polygon.Polygon`
+    Simple polygon with area, centroid, containment and bounding box.
+:class:`~repro.geometry.polygon.Rectangle`
+    Axis-aligned rectangle convenience subclass (most synthetic partitions).
+"""
+
+from repro.geometry.point import IndoorPoint, Point2D
+from repro.geometry.segment import LineSegment
+from repro.geometry.polygon import BoundingBox, Polygon, Rectangle
+from repro.geometry.measures import (
+    euclidean_distance,
+    indoor_euclidean_distance,
+    manhattan_distance,
+    path_length,
+)
+
+__all__ = [
+    "Point2D",
+    "IndoorPoint",
+    "LineSegment",
+    "Polygon",
+    "Rectangle",
+    "BoundingBox",
+    "euclidean_distance",
+    "indoor_euclidean_distance",
+    "manhattan_distance",
+    "path_length",
+]

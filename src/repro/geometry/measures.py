@@ -1,0 +1,61 @@
+"""Distance measures shared across the library.
+
+The indoor model prices intra-partition movement with the Euclidean distance
+between doors (partitions are obstacle-free after the hallway decomposition),
+and paths are sequences of indoor points whose total length is the sum of the
+per-leg distances.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.exceptions import InvalidGeometryError
+from repro.geometry.point import IndoorPoint, Point2D
+
+PointLike = Union[Point2D, IndoorPoint]
+
+
+def _as_planar(point: PointLike) -> Point2D:
+    if isinstance(point, IndoorPoint):
+        return point.point2d
+    return point
+
+
+def euclidean_distance(a: PointLike, b: PointLike) -> float:
+    """Planar Euclidean distance between two points in metres.
+
+    ``IndoorPoint`` arguments must share a floor; mixing an ``IndoorPoint``
+    with a ``Point2D`` treats the latter as lying on the same floor.
+    """
+    if isinstance(a, IndoorPoint) and isinstance(b, IndoorPoint) and a.floor != b.floor:
+        raise InvalidGeometryError(
+            f"Euclidean distance undefined across floors ({a.floor} vs {b.floor})"
+        )
+    return _as_planar(a).distance_to(_as_planar(b))
+
+
+def indoor_euclidean_distance(a: IndoorPoint, b: IndoorPoint) -> float:
+    """Euclidean distance between two indoor points on the same floor."""
+    return a.distance_to(b)
+
+
+def manhattan_distance(a: PointLike, b: PointLike) -> float:
+    """L1 distance between two points; a cheap upper-bound-ish heuristic used
+    by the synthetic query generator when scanning for target points."""
+    if isinstance(a, IndoorPoint) and isinstance(b, IndoorPoint) and a.floor != b.floor:
+        raise InvalidGeometryError(
+            f"Manhattan distance undefined across floors ({a.floor} vs {b.floor})"
+        )
+    pa, pb = _as_planar(a), _as_planar(b)
+    return abs(pa.x - pb.x) + abs(pa.y - pb.y)
+
+
+def path_length(points: Sequence[PointLike]) -> float:
+    """Total length of the polyline through ``points`` (0 for fewer than 2)."""
+    if len(points) < 2:
+        return 0.0
+    total = 0.0
+    for previous, current in zip(points, points[1:]):
+        total += euclidean_distance(previous, current)
+    return total

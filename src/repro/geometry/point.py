@@ -1,0 +1,134 @@
+"""Planar and floor-aware point primitives.
+
+``Point2D`` is the basic immutable planar coordinate.  ``IndoorPoint`` adds a
+floor number so that doors, partitions and query points in a multi-floor
+venue can be located unambiguously; two indoor points on different floors
+have no finite direct Euclidean distance (vertical movement happens only
+through staircase partitions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.exceptions import InvalidGeometryError
+
+
+@dataclass(frozen=True, order=True)
+class Point2D:
+    """An immutable point in the plane, in metres.
+
+    Supports tuple-like unpacking (``x, y = point``), vector-style addition
+    and subtraction and scalar scaling, which keeps the synthetic floorplan
+    generator readable.
+    """
+
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise InvalidGeometryError(f"point coordinates must be finite, got ({self.x}, {self.y})")
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def distance_to(self, other: "Point2D") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_distance_to(self, other: "Point2D") -> float:
+        """L1 (city-block) distance to ``other`` in metres."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def midpoint(self, other: "Point2D") -> "Point2D":
+        """Return the midpoint of the segment between this point and ``other``."""
+        return Point2D((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point2D":
+        """Return a copy of this point shifted by ``(dx, dy)``."""
+        return Point2D(self.x + dx, self.y + dy)
+
+    def __add__(self, other: "Point2D") -> "Point2D":
+        return Point2D(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point2D") -> "Point2D":
+        return Point2D(self.x - other.x, self.y - other.y)
+
+    def scaled(self, factor: float) -> "Point2D":
+        """Return this point scaled about the origin by ``factor``."""
+        return Point2D(self.x * factor, self.y * factor)
+
+    def almost_equal(self, other: "Point2D", tolerance: float = 1e-9) -> bool:
+        """Return ``True`` when both coordinates differ by at most ``tolerance``."""
+        return abs(self.x - other.x) <= tolerance and abs(self.y - other.y) <= tolerance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Point2D({self.x:g}, {self.y:g})"
+
+
+@dataclass(frozen=True, order=True)
+class IndoorPoint:
+    """A planar point annotated with the floor it lies on.
+
+    ``floor`` is an integer floor index (ground floor is 0 in the synthetic
+    venues).  Horizontal distance is only defined between points on the same
+    floor; the query engine routes vertical movement through staircase
+    partitions whose stairway length is part of the distance matrix.
+    """
+
+    x: float
+    y: float
+    floor: int = 0
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise InvalidGeometryError(f"point coordinates must be finite, got ({self.x}, {self.y})")
+        if not isinstance(self.floor, int):
+            raise InvalidGeometryError(f"floor must be an integer, got {self.floor!r}")
+
+    @property
+    def point2d(self) -> Point2D:
+        """The planar projection of this indoor point."""
+        return Point2D(self.x, self.y)
+
+    def as_tuple(self) -> Tuple[float, float, int]:
+        """Return ``(x, y, floor)``."""
+        return (self.x, self.y, self.floor)
+
+    def same_floor(self, other: "IndoorPoint") -> bool:
+        """Return ``True`` when both points lie on the same floor."""
+        return self.floor == other.floor
+
+    def distance_to(self, other: "IndoorPoint") -> float:
+        """Planar Euclidean distance to ``other``.
+
+        Raises
+        ------
+        InvalidGeometryError
+            If the points are on different floors — direct distance between
+            floors is undefined in the indoor model.
+        """
+        if self.floor != other.floor:
+            raise InvalidGeometryError(
+                f"direct distance undefined across floors ({self.floor} vs {other.floor})"
+            )
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "IndoorPoint":
+        """Return a copy of this point shifted by ``(dx, dy)`` on the same floor."""
+        return IndoorPoint(self.x + dx, self.y + dy, self.floor)
+
+    def on_floor(self, floor: int) -> "IndoorPoint":
+        """Return a copy of this point relocated to ``floor``."""
+        return IndoorPoint(self.x, self.y, floor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndoorPoint({self.x:g}, {self.y:g}, floor={self.floor})"

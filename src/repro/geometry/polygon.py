@@ -1,0 +1,303 @@
+"""Simple polygons and axis-aligned rectangles for indoor partitions.
+
+The paper decomposes irregular hallways into "smaller, regular partitions",
+so the synthetic venues are built almost entirely from rectangles; the
+general :class:`Polygon` is nevertheless provided so hand-modelled venues
+(such as the Figure 1 running example) can use arbitrary simple shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.exceptions import InvalidGeometryError
+from repro.geometry.point import Point2D
+from repro.geometry.segment import LineSegment
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned bounding box ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise InvalidGeometryError(
+                f"invalid bounding box: ({self.min_x}, {self.min_y}, {self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point2D:
+        return Point2D((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point2D, tolerance: float = 1e-9) -> bool:
+        """Return ``True`` when ``point`` lies inside or on the box boundary."""
+        return (
+            self.min_x - tolerance <= point.x <= self.max_x + tolerance
+            and self.min_y - tolerance <= point.y <= self.max_y + tolerance
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Return ``True`` when the two boxes overlap (boundary contact counts)."""
+        return not (
+            self.max_x < other.min_x
+            or other.max_x < self.min_x
+            or self.max_y < other.min_y
+            or other.max_y < self.min_y
+        )
+
+
+class Polygon:
+    """A simple polygon given by its vertices in order (no self-intersections
+    are checked; callers are expected to provide simple rings).
+
+    The vertex ring may be given in either orientation; ``area`` is always
+    positive.
+    """
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: Sequence[Point2D]):
+        points = [v if isinstance(v, Point2D) else Point2D(*v) for v in vertices]
+        if len(points) < 3:
+            raise InvalidGeometryError(f"a polygon needs at least 3 vertices, got {len(points)}")
+        # Drop an explicitly closed ring's duplicate last vertex.
+        if points[0].almost_equal(points[-1]):
+            points = points[:-1]
+        if len(points) < 3:
+            raise InvalidGeometryError("degenerate polygon after removing closing vertex")
+        self._vertices: Tuple[Point2D, ...] = tuple(points)
+
+    @property
+    def vertices(self) -> Tuple[Point2D, ...]:
+        """The polygon vertices, in their original order, not explicitly closed."""
+        return self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return hash(self._vertices)
+
+    def edges(self) -> List[LineSegment]:
+        """Return the boundary edges of the polygon, in order."""
+        result = []
+        n = len(self._vertices)
+        for i in range(n):
+            result.append(LineSegment(self._vertices[i], self._vertices[(i + 1) % n]))
+        return result
+
+    @property
+    def signed_area(self) -> float:
+        """Shoelace signed area (positive when the ring is counter-clockwise)."""
+        total = 0.0
+        n = len(self._vertices)
+        for i in range(n):
+            a = self._vertices[i]
+            b = self._vertices[(i + 1) % n]
+            total += a.x * b.y - b.x * a.y
+        return total / 2.0
+
+    @property
+    def area(self) -> float:
+        """Absolute area of the polygon in square metres."""
+        return abs(self.signed_area)
+
+    @property
+    def perimeter(self) -> float:
+        """Total boundary length in metres."""
+        return sum(edge.length for edge in self.edges())
+
+    @property
+    def centroid(self) -> Point2D:
+        """Area centroid of the polygon (vertex average for degenerate areas)."""
+        signed = self.signed_area
+        if abs(signed) < 1e-12:
+            xs = sum(v.x for v in self._vertices) / len(self._vertices)
+            ys = sum(v.y for v in self._vertices) / len(self._vertices)
+            return Point2D(xs, ys)
+        cx = cy = 0.0
+        n = len(self._vertices)
+        for i in range(n):
+            a = self._vertices[i]
+            b = self._vertices[(i + 1) % n]
+            cross = a.x * b.y - b.x * a.y
+            cx += (a.x + b.x) * cross
+            cy += (a.y + b.y) * cross
+        factor = 1.0 / (6.0 * signed)
+        return Point2D(cx * factor, cy * factor)
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        """Axis-aligned bounding box of the polygon."""
+        xs = [v.x for v in self._vertices]
+        ys = [v.y for v in self._vertices]
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+    def contains(self, point: Point2D, tolerance: float = 1e-9) -> bool:
+        """Return ``True`` when ``point`` is inside the polygon or on its boundary.
+
+        Uses the even-odd ray-casting rule with an explicit boundary check so
+        that door positions, which sit exactly on partition walls, count as
+        contained in both adjacent partitions.
+        """
+        if not self.bounding_box.contains(point, tolerance):
+            return False
+        for edge in self.edges():
+            if edge.contains_point(point, tolerance):
+                return True
+        inside = False
+        n = len(self._vertices)
+        j = n - 1
+        for i in range(n):
+            vi, vj = self._vertices[i], self._vertices[j]
+            intersects = (vi.y > point.y) != (vj.y > point.y)
+            if intersects:
+                x_cross = (vj.x - vi.x) * (point.y - vi.y) / (vj.y - vi.y) + vi.x
+                if point.x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def distance_to_point(self, point: Point2D) -> float:
+        """Distance from ``point`` to the polygon (0 when inside)."""
+        if self.contains(point):
+            return 0.0
+        return min(edge.distance_to_point(point) for edge in self.edges())
+
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        """Return a copy of the polygon shifted by ``(dx, dy)``."""
+        return Polygon([v.translated(dx, dy) for v in self._vertices])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Polygon({len(self._vertices)} vertices, area={self.area:.1f} m^2)"
+
+
+class Rectangle(Polygon):
+    """Axis-aligned rectangle — the work-horse shape of the synthetic venues."""
+
+    __slots__ = ("_min_x", "_min_y", "_max_x", "_max_y")
+
+    def __init__(self, min_x: float, min_y: float, max_x: float, max_y: float):
+        if min_x >= max_x or min_y >= max_y:
+            raise InvalidGeometryError(
+                f"rectangle must have positive extent, got ({min_x}, {min_y}, {max_x}, {max_y})"
+            )
+        super().__init__(
+            [
+                Point2D(min_x, min_y),
+                Point2D(max_x, min_y),
+                Point2D(max_x, max_y),
+                Point2D(min_x, max_y),
+            ]
+        )
+        self._min_x, self._min_y = min_x, min_y
+        self._max_x, self._max_y = max_x, max_y
+
+    @classmethod
+    def from_origin_size(cls, origin: Point2D, width: float, height: float) -> "Rectangle":
+        """Build a rectangle from its lower-left corner and its extents."""
+        return cls(origin.x, origin.y, origin.x + width, origin.y + height)
+
+    @property
+    def width(self) -> float:
+        return self._max_x - self._min_x
+
+    @property
+    def height(self) -> float:
+        return self._max_y - self._min_y
+
+    @property
+    def min_corner(self) -> Point2D:
+        return Point2D(self._min_x, self._min_y)
+
+    @property
+    def max_corner(self) -> Point2D:
+        return Point2D(self._max_x, self._max_y)
+
+    def contains(self, point: Point2D, tolerance: float = 1e-9) -> bool:
+        """Fast axis-aligned containment test (boundary counts as inside)."""
+        return (
+            self._min_x - tolerance <= point.x <= self._max_x + tolerance
+            and self._min_y - tolerance <= point.y <= self._max_y + tolerance
+        )
+
+    def shared_wall(self, other: "Rectangle", tolerance: float = 1e-9) -> "LineSegment | None":
+        """Return the wall segment shared by two touching rectangles, if any.
+
+        Used by the floorplan generator to decide where a door between two
+        adjacent partitions can be placed.  Returns ``None`` when the two
+        rectangles do not share a wall of positive length.
+        """
+        # Vertical shared wall.
+        if abs(self._max_x - other._min_x) <= tolerance or abs(other._max_x - self._min_x) <= tolerance:
+            x = self._max_x if abs(self._max_x - other._min_x) <= tolerance else self._min_x
+            lo = max(self._min_y, other._min_y)
+            hi = min(self._max_y, other._max_y)
+            if hi - lo > tolerance:
+                return LineSegment(Point2D(x, lo), Point2D(x, hi))
+        # Horizontal shared wall.
+        if abs(self._max_y - other._min_y) <= tolerance or abs(other._max_y - self._min_y) <= tolerance:
+            y = self._max_y if abs(self._max_y - other._min_y) <= tolerance else self._min_y
+            lo = max(self._min_x, other._min_x)
+            hi = min(self._max_x, other._max_x)
+            if hi - lo > tolerance:
+                return LineSegment(Point2D(lo, y), Point2D(hi, y))
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Rectangle(({self._min_x:g}, {self._min_y:g}) .. ({self._max_x:g}, {self._max_y:g}))"
+        )
+
+
+def convex_hull(points: Iterable[Point2D]) -> Polygon:
+    """Return the convex hull of a set of points as a polygon.
+
+    Andrew's monotone chain; used by the floorplan generator to derive an
+    outline partition around irregular groups of shops.
+    """
+    unique = sorted(set((p.x, p.y) for p in points))
+    if len(unique) < 3:
+        raise InvalidGeometryError("convex hull needs at least 3 distinct points")
+
+    def cross(o: Tuple[float, float], a: Tuple[float, float], b: Tuple[float, float]) -> float:
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: List[Tuple[float, float]] = []
+    for p in unique:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: List[Tuple[float, float]] = []
+    for p in reversed(unique):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        raise InvalidGeometryError("points are collinear; hull is degenerate")
+    return Polygon([Point2D(x, y) for x, y in hull])

@@ -1,0 +1,127 @@
+"""Line-segment primitive with the small set of operations the indoor model
+needs: length, midpoint, point projection/distance and segment intersection
+(used by the floorplan generator to place doors on shared walls)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import InvalidGeometryError
+from repro.geometry.point import Point2D
+
+
+@dataclass(frozen=True)
+class LineSegment:
+    """A segment between two planar points."""
+
+    start: Point2D
+    end: Point2D
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.start, Point2D) or not isinstance(self.end, Point2D):
+            raise InvalidGeometryError("segment endpoints must be Point2D instances")
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment in metres."""
+        return self.start.distance_to(self.end)
+
+    @property
+    def midpoint(self) -> Point2D:
+        """Midpoint of the segment."""
+        return self.start.midpoint(self.end)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """``True`` when the two endpoints coincide."""
+        return self.length == 0.0
+
+    def point_at(self, fraction: float) -> Point2D:
+        """Return the point at ``fraction`` of the way from ``start`` to ``end``.
+
+        ``fraction`` may lie outside ``[0, 1]``, in which case the returned
+        point lies on the supporting line beyond the segment.
+        """
+        return Point2D(
+            self.start.x + fraction * (self.end.x - self.start.x),
+            self.start.y + fraction * (self.end.y - self.start.y),
+        )
+
+    def projection_fraction(self, point: Point2D) -> float:
+        """Return the parameter of the orthogonal projection of ``point``.
+
+        The returned value is the fraction ``t`` such that ``point_at(t)`` is
+        the closest point on the *supporting line*; it is clamped by callers
+        that need the closest point on the segment itself.
+        """
+        dx = self.end.x - self.start.x
+        dy = self.end.y - self.start.y
+        denom = dx * dx + dy * dy
+        if denom == 0.0:
+            return 0.0
+        return ((point.x - self.start.x) * dx + (point.y - self.start.y) * dy) / denom
+
+    def closest_point_to(self, point: Point2D) -> Point2D:
+        """Return the point on the segment closest to ``point``."""
+        fraction = min(1.0, max(0.0, self.projection_fraction(point)))
+        return self.point_at(fraction)
+
+    def distance_to_point(self, point: Point2D) -> float:
+        """Euclidean distance from ``point`` to the segment."""
+        return point.distance_to(self.closest_point_to(point))
+
+    def contains_point(self, point: Point2D, tolerance: float = 1e-9) -> bool:
+        """Return ``True`` when ``point`` lies on the segment within ``tolerance``."""
+        return self.distance_to_point(point) <= tolerance
+
+    def intersection(self, other: "LineSegment", tolerance: float = 1e-12) -> Optional[Point2D]:
+        """Return the intersection point of two segments, or ``None``.
+
+        Collinear overlapping segments return the midpoint of the overlap;
+        parallel non-intersecting segments return ``None``.
+        """
+        p, r = self.start, Point2D(self.end.x - self.start.x, self.end.y - self.start.y)
+        q, s = other.start, Point2D(other.end.x - other.start.x, other.end.y - other.start.y)
+        r_cross_s = r.x * s.y - r.y * s.x
+        q_minus_p = Point2D(q.x - p.x, q.y - p.y)
+        qp_cross_r = q_minus_p.x * r.y - q_minus_p.y * r.x
+
+        if abs(r_cross_s) <= tolerance:
+            if abs(qp_cross_r) > tolerance:
+                return None  # parallel, non-collinear
+            return self._collinear_overlap_midpoint(other)
+
+        t = (q_minus_p.x * s.y - q_minus_p.y * s.x) / r_cross_s
+        u = qp_cross_r / r_cross_s
+        if -tolerance <= t <= 1 + tolerance and -tolerance <= u <= 1 + tolerance:
+            return self.point_at(t)
+        return None
+
+    def _collinear_overlap_midpoint(self, other: "LineSegment") -> Optional[Point2D]:
+        """Midpoint of the overlap of two collinear segments, or ``None``."""
+        # Project everything on the dominant axis of this segment.
+        use_x = abs(self.end.x - self.start.x) >= abs(self.end.y - self.start.y)
+
+        def key(point: Point2D) -> float:
+            return point.x if use_x else point.y
+
+        lo_self, hi_self = sorted((self.start, self.end), key=key)
+        lo_other, hi_other = sorted((other.start, other.end), key=key)
+        lo = lo_self if key(lo_self) >= key(lo_other) else lo_other
+        hi = hi_self if key(hi_self) <= key(hi_other) else hi_other
+        if key(lo) > key(hi):
+            return None
+        return lo.midpoint(hi)
+
+    def reversed(self) -> "LineSegment":
+        """Return the segment with its endpoints swapped."""
+        return LineSegment(self.end, self.start)
+
+    def angle(self) -> float:
+        """Return the angle of the segment direction in radians, in ``(-pi, pi]``."""
+        return math.atan2(self.end.y - self.start.y, self.end.x - self.start.x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LineSegment({self.start!r} -> {self.end!r})"

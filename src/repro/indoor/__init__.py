@@ -1,0 +1,54 @@
+"""Indoor-space substrate: partitions, doors, topology mappings and distances.
+
+This package implements the indoor accessibility model the paper builds on
+(Lu, Cao and Jensen, ICDE 2012): a venue is a set of *partitions* (rooms,
+hallway cells, staircases) connected through *doors*; a door may be
+directional, i.e. usable only from one side (e.g. exit-only security doors).
+
+The central topology mappings of that model — and of the paper's Section
+II-A — are provided by :class:`~repro.indoor.topology.Topology`:
+
+``P2D(v)``
+    doors attached to partition ``v``.
+``D2P(d)``
+    partitions connected by door ``d``.
+``P2D_enterable(v)`` / ``P2D_leaveable(v)``
+    doors through which one can enter / leave ``v`` (``P2D⊢`` / ``P2D⊣``).
+``D2P_enterable(d)`` / ``D2P_leaveable(d)``
+    partitions one can enter / leave through ``d`` (``D2P⊢`` / ``D2P⊣``).
+
+Intra-partition movement is priced by per-partition door-to-door distance
+matrices (:mod:`repro.indoor.distance`), the ``DM`` component of the
+IT-Graph's partition table.
+"""
+
+from repro.indoor.entities import (
+    Door,
+    DoorType,
+    Floor,
+    Partition,
+    PartitionCategory,
+    PartitionType,
+    OUTDOOR_PARTITION_ID,
+)
+from repro.indoor.space import Connection, IndoorSpace
+from repro.indoor.topology import Topology
+from repro.indoor.distance import DistanceMatrix, build_distance_matrices, point_to_door_distance
+from repro.indoor.builder import IndoorSpaceBuilder
+
+__all__ = [
+    "Door",
+    "DoorType",
+    "Partition",
+    "PartitionType",
+    "PartitionCategory",
+    "Floor",
+    "OUTDOOR_PARTITION_ID",
+    "IndoorSpace",
+    "Connection",
+    "Topology",
+    "DistanceMatrix",
+    "build_distance_matrices",
+    "point_to_door_distance",
+    "IndoorSpaceBuilder",
+]

@@ -1,0 +1,236 @@
+"""Fluent builder for indoor spaces.
+
+Hand-modelling a venue (the Figure 1 running example, the examples in
+``examples/``) involves a lot of repetitive partition/door/connection
+plumbing; ``IndoorSpaceBuilder`` wraps it in a compact, chainable API and
+adds conveniences such as rectangle partitions, doors placed on shared walls
+and staircases between floors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.constants import DEFAULT_STAIRWAY_LENGTH_M
+from repro.exceptions import TopologyError
+from repro.geometry.point import IndoorPoint, Point2D
+from repro.geometry.polygon import Polygon, Rectangle
+from repro.indoor.entities import (
+    Door,
+    DoorType,
+    OUTDOOR_PARTITION_ID,
+    Partition,
+    PartitionCategory,
+    PartitionType,
+)
+from repro.indoor.space import IndoorSpace
+
+
+class IndoorSpaceBuilder:
+    """Chainable construction helper for :class:`~repro.indoor.space.IndoorSpace`."""
+
+    def __init__(self, name: str = "indoor-space"):
+        self._space = IndoorSpace(name)
+        self._has_outdoors = False
+
+    # -- partitions -----------------------------------------------------------------
+
+    def add_partition(
+        self,
+        partition_id: str,
+        polygon: Optional[Polygon] = None,
+        floor: int = 0,
+        partition_type: PartitionType = PartitionType.PUBLIC,
+        category: PartitionCategory = PartitionCategory.OTHER,
+        name: Optional[str] = None,
+    ) -> "IndoorSpaceBuilder":
+        """Add a general partition."""
+        self._space.add_partition(
+            Partition(
+                partition_id=partition_id,
+                polygon=polygon,
+                floor=floor,
+                partition_type=partition_type,
+                category=category,
+                name=name,
+            )
+        )
+        return self
+
+    def add_rectangle_partition(
+        self,
+        partition_id: str,
+        min_x: float,
+        min_y: float,
+        max_x: float,
+        max_y: float,
+        floor: int = 0,
+        partition_type: PartitionType = PartitionType.PUBLIC,
+        category: PartitionCategory = PartitionCategory.OTHER,
+        name: Optional[str] = None,
+    ) -> "IndoorSpaceBuilder":
+        """Add an axis-aligned rectangular partition (the common case)."""
+        return self.add_partition(
+            partition_id,
+            polygon=Rectangle(min_x, min_y, max_x, max_y),
+            floor=floor,
+            partition_type=partition_type,
+            category=category,
+            name=name,
+        )
+
+    def add_private_partition(
+        self,
+        partition_id: str,
+        polygon: Optional[Polygon] = None,
+        floor: int = 0,
+        category: PartitionCategory = PartitionCategory.OFFICE,
+        name: Optional[str] = None,
+    ) -> "IndoorSpaceBuilder":
+        """Add a private (PRP) partition."""
+        return self.add_partition(
+            partition_id,
+            polygon=polygon,
+            floor=floor,
+            partition_type=PartitionType.PRIVATE,
+            category=category,
+            name=name,
+        )
+
+    def add_outdoors(self) -> "IndoorSpaceBuilder":
+        """Add the outdoor pseudo-partition (``v0`` in the paper's IT-Graph)."""
+        if not self._has_outdoors:
+            self._space.add_partition(
+                Partition(
+                    partition_id=OUTDOOR_PARTITION_ID,
+                    polygon=None,
+                    floor=0,
+                    partition_type=PartitionType.PUBLIC,
+                    category=PartitionCategory.OUTDOOR,
+                    name="outdoors",
+                )
+            )
+            self._has_outdoors = True
+        return self
+
+    # -- doors -----------------------------------------------------------------------
+
+    def add_door(
+        self,
+        door_id: str,
+        position: IndoorPoint,
+        between: Tuple[str, str],
+        door_type: DoorType = DoorType.PUBLIC,
+        bidirectional: bool = True,
+    ) -> "IndoorSpaceBuilder":
+        """Add a door and connect the two partitions it separates.
+
+        ``between`` is ``(from_partition, to_partition)``; for bidirectional
+        doors the order is irrelevant, for directional doors movement is only
+        allowed from the first to the second.
+        """
+        self._space.add_door(Door(door_id=door_id, position=position, door_type=door_type))
+        from_partition, to_partition = between
+        self._space.connect(door_id, from_partition, to_partition, bidirectional=bidirectional)
+        return self
+
+    def add_door_to_outdoors(
+        self,
+        door_id: str,
+        position: IndoorPoint,
+        partition_id: str,
+        door_type: DoorType = DoorType.PUBLIC,
+        bidirectional: bool = True,
+    ) -> "IndoorSpaceBuilder":
+        """Add an exterior door between ``partition_id`` and the outdoors."""
+        self.add_outdoors()
+        return self.add_door(
+            door_id,
+            position,
+            between=(OUTDOOR_PARTITION_ID, partition_id),
+            door_type=door_type,
+            bidirectional=bidirectional,
+        )
+
+    def add_wall_door(
+        self,
+        door_id: str,
+        partition_a: str,
+        partition_b: str,
+        door_type: DoorType = DoorType.PUBLIC,
+        bidirectional: bool = True,
+        fraction: float = 0.5,
+    ) -> "IndoorSpaceBuilder":
+        """Add a door on the shared wall of two rectangular partitions.
+
+        The door is placed at ``fraction`` along the shared wall.  Raises
+        :class:`TopologyError` when the two partitions do not share a wall —
+        that usually indicates a typo in the venue description.
+        """
+        rect_a = self._space.partition(partition_a).polygon
+        rect_b = self._space.partition(partition_b).polygon
+        if not isinstance(rect_a, Rectangle) or not isinstance(rect_b, Rectangle):
+            raise TopologyError("add_wall_door requires rectangular partitions")
+        wall = rect_a.shared_wall(rect_b)
+        if wall is None:
+            raise TopologyError(
+                f"partitions {partition_a!r} and {partition_b!r} do not share a wall"
+            )
+        floor = self._space.partition(partition_a).floor
+        position = wall.point_at(fraction)
+        return self.add_door(
+            door_id,
+            IndoorPoint(position.x, position.y, floor),
+            between=(partition_a, partition_b),
+            door_type=door_type,
+            bidirectional=bidirectional,
+        )
+
+    # -- staircases --------------------------------------------------------------------
+
+    def add_staircase(
+        self,
+        staircase_id: str,
+        lower_floor: int,
+        upper_floor: int,
+        lower_door: Tuple[str, IndoorPoint, str],
+        upper_door: Tuple[str, IndoorPoint, str],
+        stairway_length: float = DEFAULT_STAIRWAY_LENGTH_M,
+        footprint: Optional[Polygon] = None,
+    ) -> "IndoorSpaceBuilder":
+        """Add a staircase partition connecting two floors.
+
+        ``lower_door`` and ``upper_door`` are ``(door_id, position, hallway_partition_id)``
+        triples describing the doors at the bottom and top of the stairs and
+        the hallway partitions they open into.  The walking distance between
+        the two staircase doors is ``stairway_length`` (20 m in the paper's
+        synthetic space), registered as an explicit override.
+        """
+        lower_door_id, lower_position, lower_hallway = lower_door
+        upper_door_id, upper_position, upper_hallway = upper_door
+        staircase = Partition(
+            partition_id=staircase_id,
+            polygon=footprint,
+            floor=lower_floor,
+            partition_type=PartitionType.PUBLIC,
+            category=PartitionCategory.STAIRCASE,
+            spans_floors=(lower_floor, upper_floor),
+            distance_overrides={frozenset((lower_door_id, upper_door_id)): stairway_length},
+        )
+        self._space.add_partition(staircase)
+        self.add_door(lower_door_id, lower_position, between=(lower_hallway, staircase_id))
+        self.add_door(upper_door_id, upper_position, between=(staircase_id, upper_hallway))
+        return self
+
+    # -- finishing --------------------------------------------------------------------------
+
+    @property
+    def space(self) -> IndoorSpace:
+        """The space under construction (usable before :meth:`build` for lookups)."""
+        return self._space
+
+    def build(self, validate: bool = True) -> IndoorSpace:
+        """Return the constructed space, optionally validating its consistency."""
+        if validate:
+            self._space.validate()
+        return self._space

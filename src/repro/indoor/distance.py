@@ -1,0 +1,158 @@
+"""Intra-partition distances and the per-partition distance matrix ``DM``.
+
+The IT-Graph's partition table stores, for every partition, a matrix of
+walking distances between each pair of its doors (the ``DM`` of the paper's
+Section II-A, inherited from Lu et al.).  After hallway decomposition the
+partitions are obstacle-free, so the door-to-door distance inside a partition
+is the planar Euclidean distance — except for staircases, whose stairway
+length is an explicit override on the partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.exceptions import UnknownEntityError
+from repro.geometry.point import IndoorPoint
+from repro.indoor.entities import Door, Partition
+from repro.indoor.space import IndoorSpace
+
+
+class DistanceMatrix:
+    """Symmetric door-to-door distances inside one partition.
+
+    The matrix is stored sparsely as a mapping from unordered door pairs to
+    metres.  Distances from a door to itself are implicitly zero.  The paper
+    sets ``DM`` to ``null`` for single-door partitions; here the matrix is
+    simply empty in that case, which behaves identically.
+    """
+
+    __slots__ = ("partition_id", "_distances", "_doors")
+
+    def __init__(self, partition_id: str, distances: Mapping[FrozenSet[str], float], doors: Iterable[str]):
+        self.partition_id = partition_id
+        self._distances: Dict[FrozenSet[str], float] = dict(distances)
+        self._doors: Tuple[str, ...] = tuple(sorted(set(doors)))
+
+    @property
+    def doors(self) -> Tuple[str, ...]:
+        """Doors covered by this matrix, sorted by identifier."""
+        return self._doors
+
+    @property
+    def is_trivial(self) -> bool:
+        """``True`` for partitions with at most one door (``DM = null`` in the paper)."""
+        return len(self._doors) <= 1
+
+    def distance(self, door_a: str, door_b: str) -> float:
+        """Walking distance between two doors of the partition, in metres.
+
+        Raises
+        ------
+        UnknownEntityError
+            If either door does not belong to the partition.
+        """
+        if door_a == door_b:
+            if door_a not in self._doors:
+                raise UnknownEntityError(
+                    f"door {door_a!r} is not a door of partition {self.partition_id!r}"
+                )
+            return 0.0
+        key = frozenset((door_a, door_b))
+        try:
+            return self._distances[key]
+        except KeyError as exc:
+            raise UnknownEntityError(
+                f"no intra-partition distance between {door_a!r} and {door_b!r} "
+                f"in partition {self.partition_id!r}"
+            ) from exc
+
+    def __contains__(self, pair: Tuple[str, str]) -> bool:
+        door_a, door_b = pair
+        if door_a == door_b:
+            return door_a in self._doors
+        return frozenset(pair) in self._distances
+
+    def __len__(self) -> int:
+        return len(self._distances)
+
+    def pairs(self) -> Iterable[Tuple[str, str, float]]:
+        """Iterate over ``(door_a, door_b, distance)`` triples (unordered pairs)."""
+        for key, value in self._distances.items():
+            door_a, door_b = sorted(key)
+            yield door_a, door_b, value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistanceMatrix({self.partition_id!r}, {len(self._doors)} doors)"
+
+
+def intra_partition_distance(partition: Partition, door_a: Door, door_b: Door) -> float:
+    """Walking distance between two doors of ``partition``.
+
+    Explicit overrides on the partition (staircases) win; otherwise the planar
+    Euclidean distance between the door positions is used.  Doors of a
+    staircase partition lie on different floors, so the override is mandatory
+    there — a missing override raises ``UnknownEntityError``.
+    """
+    override = partition.override_distance(door_a.door_id, door_b.door_id)
+    if override is not None:
+        return override
+    if door_a.door_id == door_b.door_id:
+        return 0.0
+    if door_a.position.floor != door_b.position.floor:
+        raise UnknownEntityError(
+            f"doors {door_a.door_id!r} and {door_b.door_id!r} lie on different floors of "
+            f"partition {partition.partition_id!r} and no stairway length override is registered"
+        )
+    return door_a.position.distance_to(door_b.position)
+
+
+def build_distance_matrix(space: IndoorSpace, partition_id: str) -> DistanceMatrix:
+    """Build the ``DM`` of one partition from the space geometry."""
+    partition = space.partition(partition_id)
+    door_ids = sorted(space.topology.doors_of(partition_id))
+    distances: Dict[FrozenSet[str], float] = {}
+    for i, door_a_id in enumerate(door_ids):
+        door_a = space.door(door_a_id)
+        for door_b_id in door_ids[i + 1 :]:
+            door_b = space.door(door_b_id)
+            distances[frozenset((door_a_id, door_b_id))] = intra_partition_distance(
+                partition, door_a, door_b
+            )
+    return DistanceMatrix(partition_id, distances, door_ids)
+
+
+def build_distance_matrices(space: IndoorSpace) -> Dict[str, DistanceMatrix]:
+    """Build the distance matrices of every partition of ``space``."""
+    return {pid: build_distance_matrix(space, pid) for pid in space.partition_ids()}
+
+
+def point_to_door_distance(
+    space: IndoorSpace,
+    point: IndoorPoint,
+    door_id: str,
+    partition: Optional[Partition] = None,
+) -> float:
+    """Distance from an arbitrary indoor point to a door of its partition.
+
+    This is the ``|d_i, p_t|_E`` term of Algorithm 1: the final hop from the
+    last door into the target's partition (and symmetrically the first hop
+    from the source point to a leaveable door).  The point and the door must
+    share a partition; movement inside the partition is obstacle-free.
+    """
+    if partition is None:
+        partition = space.locate(point)
+    door = space.door(door_id)
+    if door_id not in space.topology.doors_of(partition.partition_id):
+        raise UnknownEntityError(
+            f"door {door_id!r} is not a door of partition {partition.partition_id!r}"
+        )
+    if door.position.floor != point.floor:
+        # Points inside a staircase partition reaching the door on the other
+        # floor walk the stairway; approximate by the stairway length if an
+        # override exists for any same-partition pair, otherwise fail loudly.
+        raise UnknownEntityError(
+            f"point on floor {point.floor} cannot reach door {door_id!r} on floor "
+            f"{door.position.floor} without an explicit stairway distance"
+        )
+    return point.point2d.distance_to(door.position.point2d)

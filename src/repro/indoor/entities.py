@@ -1,0 +1,224 @@
+"""Indoor entities: doors, partitions and floors.
+
+Terminology follows the paper:
+
+* a **partition** is an indoor unit of space (a shop, an office, a hallway
+  cell after decomposition, a staircase); it is either *public* (``PBP``) or
+  *private* (``PRP``) — valid ITSPQ paths never cross private partitions other
+  than those containing the query endpoints;
+* a **door** connects two partitions (or a partition and the outdoors); it is
+  either *public* (``PBD``) or *private* (``PRD``) and may be usable in only
+  one direction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.exceptions import InvalidGeometryError
+from repro.geometry.point import IndoorPoint
+from repro.geometry.polygon import Polygon
+
+#: Identifier of the implicit outdoor pseudo-partition (``v0`` in the paper's
+#: IT-Graph figure).  Venues that model exterior doors connect them to this
+#: partition; the query engine never routes *through* the outdoors.
+OUTDOOR_PARTITION_ID = "outdoors"
+
+
+class PartitionType(enum.Enum):
+    """Partition access class: public (PBP) or private (PRP)."""
+
+    PUBLIC = "PBP"
+    PRIVATE = "PRP"
+
+    @property
+    def is_private(self) -> bool:
+        return self is PartitionType.PRIVATE
+
+
+class DoorType(enum.Enum):
+    """Door access class: public (PBD) or private (PRD).
+
+    A private door typically leads into a private partition (staff doors,
+    security doors); the distinction is carried in the IT-Graph's door table
+    so downstream applications can filter on it.
+    """
+
+    PUBLIC = "PBD"
+    PRIVATE = "PRD"
+
+    @property
+    def is_private(self) -> bool:
+        return self is DoorType.PRIVATE
+
+
+class PartitionCategory(enum.Enum):
+    """Functional category of a partition, used by the synthetic generator.
+
+    The category does not influence routing semantics; it drives which
+    opening-hours profile the schedule generator assigns and makes example
+    output human-readable.
+    """
+
+    SHOP = "shop"
+    ANCHOR_STORE = "anchor"
+    FOOD_COURT = "food-court"
+    HALLWAY = "hallway"
+    STAIRCASE = "staircase"
+    OFFICE = "office"
+    STORAGE = "storage"
+    WARD = "ward"
+    LOBBY = "lobby"
+    OUTDOOR = "outdoor"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Door:
+    """A door (or virtual opening) between two indoor partitions.
+
+    Attributes
+    ----------
+    door_id:
+        Unique identifier, e.g. ``"d7"``.
+    position:
+        The door's location.  Doors produced by hallway decomposition are
+        *virtual doors* — openings on the shared boundary of two hallway
+        cells — and behave identically.
+    door_type:
+        Public or private (``PBD`` / ``PRD``).
+    """
+
+    door_id: str
+    position: IndoorPoint
+    door_type: DoorType = DoorType.PUBLIC
+
+    def __post_init__(self) -> None:
+        if not self.door_id:
+            raise InvalidGeometryError("door_id must be a non-empty string")
+        if not isinstance(self.position, IndoorPoint):
+            raise InvalidGeometryError("door position must be an IndoorPoint")
+
+    @property
+    def floor(self) -> int:
+        """Floor on which the door lies."""
+        return self.position.floor
+
+    @property
+    def is_private(self) -> bool:
+        """``True`` for private (PRD) doors."""
+        return self.door_type.is_private
+
+    def __str__(self) -> str:
+        return self.door_id
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An indoor partition: a room, hallway cell, staircase or the outdoors.
+
+    Attributes
+    ----------
+    partition_id:
+        Unique identifier, e.g. ``"v3"``.
+    polygon:
+        Footprint of the partition on its floor.  ``None`` is allowed for
+        abstract partitions (the outdoors, staircase shafts) — such partitions
+        fall back to door-to-door Euclidean distances unless explicit
+        overrides are given.
+    floor:
+        Floor index the partition belongs to.  Staircase partitions span two
+        floors; by convention they are registered on the lower floor and the
+        ``spans_floors`` attribute records both.
+    partition_type:
+        Public (PBP) or private (PRP).
+    category:
+        Functional category (shop, hallway, staircase, ...).
+    distance_overrides:
+        Optional explicit intra-partition door-to-door distances, keyed by the
+        unordered pair of door identifiers.  Used for staircases whose walking
+        distance (stairway length) is much larger than the planar distance
+        between their doors.
+    """
+
+    partition_id: str
+    polygon: Optional[Polygon] = None
+    floor: int = 0
+    partition_type: PartitionType = PartitionType.PUBLIC
+    category: PartitionCategory = PartitionCategory.OTHER
+    name: Optional[str] = None
+    spans_floors: Optional[Tuple[int, int]] = None
+    distance_overrides: Dict[FrozenSet[str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.partition_id:
+            raise InvalidGeometryError("partition_id must be a non-empty string")
+        if self.polygon is not None and not isinstance(self.polygon, Polygon):
+            raise InvalidGeometryError("partition polygon must be a Polygon or None")
+        if self.spans_floors is not None:
+            low, high = self.spans_floors
+            if high < low:
+                raise InvalidGeometryError(
+                    f"spans_floors must be ordered, got {self.spans_floors}"
+                )
+
+    @property
+    def is_private(self) -> bool:
+        """``True`` for private (PRP) partitions."""
+        return self.partition_type.is_private
+
+    @property
+    def is_outdoor(self) -> bool:
+        """``True`` for the outdoor pseudo-partition."""
+        return self.category is PartitionCategory.OUTDOOR or self.partition_id == OUTDOOR_PARTITION_ID
+
+    @property
+    def is_staircase(self) -> bool:
+        """``True`` for partitions that connect two floors."""
+        return self.category is PartitionCategory.STAIRCASE or self.spans_floors is not None
+
+    @property
+    def area(self) -> float:
+        """Footprint area in square metres (0 for abstract partitions)."""
+        return self.polygon.area if self.polygon is not None else 0.0
+
+    def contains_point(self, point: IndoorPoint, tolerance: float = 1e-9) -> bool:
+        """Return ``True`` when ``point`` lies inside this partition.
+
+        Abstract partitions (no polygon) never contain points; staircases
+        accept points on either of the floors they span.
+        """
+        if self.polygon is None:
+            return False
+        if self.spans_floors is not None:
+            low, high = self.spans_floors
+            if not (low <= point.floor <= high):
+                return False
+        elif point.floor != self.floor:
+            return False
+        return self.polygon.contains(point.point2d, tolerance)
+
+    def override_distance(self, door_a: str, door_b: str) -> Optional[float]:
+        """Return the explicit distance between two of this partition's doors,
+        or ``None`` when no override is registered."""
+        return self.distance_overrides.get(frozenset((door_a, door_b)))
+
+    def __str__(self) -> str:
+        return self.partition_id
+
+
+@dataclass(frozen=True)
+class Floor:
+    """Metadata about one floor of a multi-floor venue."""
+
+    level: int
+    name: Optional[str] = None
+    width: float = 0.0
+    height: float = 0.0
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable floor name."""
+        return self.name if self.name else f"floor {self.level}"

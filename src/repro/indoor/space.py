@@ -1,0 +1,278 @@
+"""The :class:`IndoorSpace` container: partitions, doors and their connections.
+
+An ``IndoorSpace`` is the static, geometry-level description of a venue.  It
+knows nothing about temporal variation — that is layered on top by a
+:class:`~repro.temporal.schedule.DoorSchedule` when the IT-Graph is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import DuplicateEntityError, TopologyError, UnknownEntityError
+from repro.geometry.point import IndoorPoint
+from repro.indoor.entities import Door, Partition, PartitionType
+from repro.indoor.topology import Topology
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A directed crossing: one can go from ``from_partition`` to
+    ``to_partition`` through ``door_id``."""
+
+    door_id: str
+    from_partition: str
+    to_partition: str
+
+    def reversed(self) -> "Connection":
+        """The opposite direction of the same door."""
+        return Connection(self.door_id, self.to_partition, self.from_partition)
+
+
+class IndoorSpace:
+    """A multi-floor indoor venue: partitions, doors and directed connections.
+
+    The class enforces referential integrity (connections may only mention
+    registered doors and partitions, identifiers are unique) and exposes the
+    derived :class:`~repro.indoor.topology.Topology` mappings plus point
+    location (which partition covers a query point).
+    """
+
+    def __init__(self, name: str = "indoor-space"):
+        self.name = name
+        self._partitions: Dict[str, Partition] = {}
+        self._doors: Dict[str, Door] = {}
+        self._connections: List[Connection] = []
+        self._topology: Optional[Topology] = None
+
+    # -- registration ---------------------------------------------------------------
+
+    def add_partition(self, partition: Partition) -> Partition:
+        """Register ``partition``; raises :class:`DuplicateEntityError` on id reuse."""
+        if partition.partition_id in self._partitions:
+            raise DuplicateEntityError(f"partition {partition.partition_id!r} already exists")
+        self._partitions[partition.partition_id] = partition
+        self._topology = None
+        return partition
+
+    def add_door(self, door: Door) -> Door:
+        """Register ``door``; raises :class:`DuplicateEntityError` on id reuse."""
+        if door.door_id in self._doors:
+            raise DuplicateEntityError(f"door {door.door_id!r} already exists")
+        self._doors[door.door_id] = door
+        self._topology = None
+        return door
+
+    def connect(
+        self,
+        door_id: str,
+        from_partition: str,
+        to_partition: str,
+        bidirectional: bool = True,
+    ) -> None:
+        """Declare that ``door_id`` links ``from_partition`` to ``to_partition``.
+
+        With ``bidirectional=True`` (the common case) the reverse direction is
+        added as well; directional doors — such as the exit-only doors in the
+        paper's Figure 1 — pass ``bidirectional=False``.
+        """
+        self._require_door(door_id)
+        self._require_partition(from_partition)
+        self._require_partition(to_partition)
+        if from_partition == to_partition:
+            raise TopologyError(
+                f"door {door_id!r} cannot connect partition {from_partition!r} to itself"
+            )
+        self._connections.append(Connection(door_id, from_partition, to_partition))
+        if bidirectional:
+            self._connections.append(Connection(door_id, to_partition, from_partition))
+        self._topology = None
+
+    # -- lookups -----------------------------------------------------------------------
+
+    def _require_partition(self, partition_id: str) -> None:
+        if partition_id not in self._partitions:
+            raise UnknownEntityError(f"unknown partition {partition_id!r}")
+
+    def _require_door(self, door_id: str) -> None:
+        if door_id not in self._doors:
+            raise UnknownEntityError(f"unknown door {door_id!r}")
+
+    def partition(self, partition_id: str) -> Partition:
+        """Return the partition registered under ``partition_id``."""
+        self._require_partition(partition_id)
+        return self._partitions[partition_id]
+
+    def door(self, door_id: str) -> Door:
+        """Return the door registered under ``door_id``."""
+        self._require_door(door_id)
+        return self._doors[door_id]
+
+    def has_partition(self, partition_id: str) -> bool:
+        """``True`` when ``partition_id`` is registered."""
+        return partition_id in self._partitions
+
+    def has_door(self, door_id: str) -> bool:
+        """``True`` when ``door_id`` is registered."""
+        return door_id in self._doors
+
+    @property
+    def partitions(self) -> Dict[str, Partition]:
+        """Read-only view of all partitions keyed by identifier."""
+        return dict(self._partitions)
+
+    @property
+    def doors(self) -> Dict[str, Door]:
+        """Read-only view of all doors keyed by identifier."""
+        return dict(self._doors)
+
+    @property
+    def connections(self) -> Tuple[Connection, ...]:
+        """All directed connections."""
+        return tuple(self._connections)
+
+    def partition_ids(self) -> List[str]:
+        """All partition identifiers (insertion order)."""
+        return list(self._partitions)
+
+    def door_ids(self) -> List[str]:
+        """All door identifiers (insertion order)."""
+        return list(self._doors)
+
+    def iter_partitions(self) -> Iterator[Partition]:
+        """Iterate over partitions in insertion order."""
+        return iter(self._partitions.values())
+
+    def iter_doors(self) -> Iterator[Door]:
+        """Iterate over doors in insertion order."""
+        return iter(self._doors.values())
+
+    def __len__(self) -> int:
+        return len(self._partitions)
+
+    # -- derived structure -----------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """The door/partition incidence mappings, rebuilt lazily after edits."""
+        if self._topology is None:
+            topology = Topology()
+            for partition_id in self._partitions:
+                topology.register_partition(partition_id)
+            for door_id in self._doors:
+                topology.register_door(door_id)
+            for connection in self._connections:
+                topology.add_directed_connection(
+                    connection.from_partition, connection.to_partition, connection.door_id
+                )
+            self._topology = topology
+        return self._topology
+
+    def doors_of_partition(self, partition_id: str) -> List[Door]:
+        """All door objects attached to ``partition_id``."""
+        return [self._doors[d] for d in sorted(self.topology.doors_of(partition_id))]
+
+    def floors(self) -> List[int]:
+        """Sorted list of floor indices present in the venue."""
+        return sorted({p.floor for p in self._partitions.values()})
+
+    # -- point location ----------------------------------------------------------------------
+
+    def locate(self, point: IndoorPoint) -> Partition:
+        """Return the partition covering ``point`` (``P(p)`` in the paper).
+
+        When several partitions contain the point (a point exactly on a shared
+        wall), the first one in insertion order wins; callers that care should
+        place query points strictly inside partitions.
+
+        Raises
+        ------
+        UnknownEntityError
+            If no partition covers the point.
+        """
+        for partition in self._partitions.values():
+            if partition.contains_point(point):
+                return partition
+        raise UnknownEntityError(f"no partition covers point {point!r}")
+
+    def locate_id(self, point: IndoorPoint) -> str:
+        """Identifier variant of :meth:`locate`."""
+        return self.locate(point).partition_id
+
+    def try_locate(self, point: IndoorPoint) -> Optional[Partition]:
+        """Like :meth:`locate` but returns ``None`` instead of raising."""
+        try:
+            return self.locate(point)
+        except UnknownEntityError:
+            return None
+
+    # -- statistics & validation --------------------------------------------------------------
+
+    def count_partitions(self, partition_type: Optional[PartitionType] = None) -> int:
+        """Number of partitions, optionally restricted to one type."""
+        if partition_type is None:
+            return len(self._partitions)
+        return sum(1 for p in self._partitions.values() if p.partition_type is partition_type)
+
+    def count_doors(self) -> int:
+        """Number of doors."""
+        return len(self._doors)
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics used by examples and benchmark reports."""
+        topology = self.topology
+        degrees = [topology.degree(pid) for pid in self._partitions]
+        return {
+            "partitions": len(self._partitions),
+            "doors": len(self._doors),
+            "directed_connections": topology.edge_count(),
+            "floors": len(self.floors()),
+            "private_partitions": self.count_partitions(PartitionType.PRIVATE),
+            "mean_partition_degree": (sum(degrees) / len(degrees)) if degrees else 0.0,
+            "max_partition_degree": max(degrees) if degrees else 0,
+        }
+
+    def validate(self) -> None:
+        """Check structural consistency of the venue.
+
+        Ensures every connection references known entities (already enforced
+        at insertion), every door participates in at least one connection,
+        every door lies on a floor consistent with the partitions it connects,
+        and no partition is completely isolated (except the outdoors).
+
+        Raises
+        ------
+        TopologyError
+            Describing the first problem found.
+        """
+        topology = self.topology
+        for door_id, door in self._doors.items():
+            partitions = topology.partitions_of(door_id)
+            if not partitions:
+                raise TopologyError(f"door {door_id!r} is not connected to any partition")
+            for partition_id in partitions:
+                partition = self._partitions[partition_id]
+                if partition.is_outdoor or partition.polygon is None:
+                    continue
+                floors = (
+                    range(partition.spans_floors[0], partition.spans_floors[1] + 1)
+                    if partition.spans_floors is not None
+                    else (partition.floor,)
+                )
+                if door.floor not in floors:
+                    raise TopologyError(
+                        f"door {door_id!r} on floor {door.floor} is connected to partition "
+                        f"{partition_id!r} on floor(s) {list(floors)}"
+                    )
+        for partition_id, partition in self._partitions.items():
+            if partition.is_outdoor:
+                continue
+            if not topology.doors_of(partition_id):
+                raise TopologyError(f"partition {partition_id!r} has no doors")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IndoorSpace({self.name!r}: {len(self._partitions)} partitions, "
+            f"{len(self._doors)} doors, {len(self._connections)} directed connections)"
+        )

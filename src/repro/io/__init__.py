@@ -1,0 +1,29 @@
+"""JSON serialisation of venues, schedules and query workloads.
+
+Round-tripping venues through plain dictionaries serves two purposes: it lets
+users persist generated synthetic venues (so benchmark runs can share one
+venue), and it documents the on-disk data model for people who want to feed
+their own building data into the library.
+"""
+
+from repro.io.serialize import (
+    queries_from_dict,
+    queries_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    space_from_dict,
+    space_to_dict,
+    load_json,
+    save_json,
+)
+
+__all__ = [
+    "space_to_dict",
+    "space_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "queries_to_dict",
+    "queries_from_dict",
+    "save_json",
+    "load_json",
+]

@@ -1,0 +1,201 @@
+"""Dictionary / JSON round-tripping of the library's data model.
+
+The format is deliberately plain: every entity becomes a dictionary of
+primitive values so the documents can be produced by other tools (building
+information systems, map digitisers) without depending on this library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.core.query import ITSPQuery
+from repro.exceptions import SerializationError
+from repro.geometry.point import IndoorPoint, Point2D
+from repro.geometry.polygon import Polygon
+from repro.indoor.entities import Door, DoorType, Partition, PartitionCategory, PartitionType
+from repro.indoor.space import IndoorSpace
+from repro.temporal.atis import ATISet
+from repro.temporal.schedule import DoorSchedule
+
+_FORMAT_VERSION = 1
+
+
+# -- indoor spaces ---------------------------------------------------------------------
+
+
+def space_to_dict(space: IndoorSpace) -> Dict[str, Any]:
+    """Serialise an :class:`IndoorSpace` to a plain dictionary."""
+    partitions = []
+    for partition in space.iter_partitions():
+        entry: Dict[str, Any] = {
+            "id": partition.partition_id,
+            "floor": partition.floor,
+            "type": partition.partition_type.value,
+            "category": partition.category.value,
+        }
+        if partition.name:
+            entry["name"] = partition.name
+        if partition.polygon is not None:
+            entry["polygon"] = [[v.x, v.y] for v in partition.polygon.vertices]
+        if partition.spans_floors is not None:
+            entry["spans_floors"] = list(partition.spans_floors)
+        if partition.distance_overrides:
+            entry["distance_overrides"] = [
+                {"doors": sorted(pair), "distance": value}
+                for pair, value in partition.distance_overrides.items()
+            ]
+        partitions.append(entry)
+
+    doors = [
+        {
+            "id": door.door_id,
+            "position": [door.position.x, door.position.y, door.position.floor],
+            "type": door.door_type.value,
+        }
+        for door in space.iter_doors()
+    ]
+
+    connections = [
+        {
+            "door": connection.door_id,
+            "from": connection.from_partition,
+            "to": connection.to_partition,
+        }
+        for connection in space.connections
+    ]
+
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": space.name,
+        "partitions": partitions,
+        "doors": doors,
+        "connections": connections,
+    }
+
+
+def space_from_dict(document: Dict[str, Any]) -> IndoorSpace:
+    """Rebuild an :class:`IndoorSpace` from :func:`space_to_dict` output."""
+    try:
+        space = IndoorSpace(document.get("name", "indoor-space"))
+        for entry in document["partitions"]:
+            polygon = None
+            if "polygon" in entry:
+                polygon = Polygon([Point2D(x, y) for x, y in entry["polygon"]])
+            overrides = {}
+            for override in entry.get("distance_overrides", []):
+                overrides[frozenset(override["doors"])] = float(override["distance"])
+            spans = entry.get("spans_floors")
+            space.add_partition(
+                Partition(
+                    partition_id=entry["id"],
+                    polygon=polygon,
+                    floor=int(entry.get("floor", 0)),
+                    partition_type=PartitionType(entry.get("type", "PBP")),
+                    category=PartitionCategory(entry.get("category", "other")),
+                    name=entry.get("name"),
+                    spans_floors=tuple(spans) if spans else None,
+                    distance_overrides=overrides,
+                )
+            )
+        for entry in document["doors"]:
+            x, y, floor = entry["position"]
+            space.add_door(
+                Door(
+                    door_id=entry["id"],
+                    position=IndoorPoint(float(x), float(y), int(floor)),
+                    door_type=DoorType(entry.get("type", "PBD")),
+                )
+            )
+        for entry in document["connections"]:
+            space.connect(entry["door"], entry["from"], entry["to"], bidirectional=False)
+        return space
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed indoor-space document: {exc}") from exc
+
+
+# -- schedules ----------------------------------------------------------------------------
+
+
+def schedule_to_dict(schedule: DoorSchedule) -> Dict[str, Any]:
+    """Serialise a :class:`DoorSchedule` (explicit entries only)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "doors": {
+            door_id: [[str(interval.start), str(interval.end)] for interval in atis]
+            for door_id, atis in schedule.items()
+        },
+    }
+
+
+def schedule_from_dict(document: Dict[str, Any]) -> DoorSchedule:
+    """Rebuild a :class:`DoorSchedule` from :func:`schedule_to_dict` output."""
+    try:
+        return DoorSchedule(
+            {
+                door_id: ATISet.from_pairs((start, end) for start, end in intervals)
+                for door_id, intervals in document["doors"].items()
+            }
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed schedule document: {exc}") from exc
+
+
+# -- query workloads ----------------------------------------------------------------------------
+
+
+def queries_to_dict(queries: Sequence[ITSPQuery]) -> Dict[str, Any]:
+    """Serialise a query workload."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "queries": [
+            {
+                "source": [q.source.x, q.source.y, q.source.floor],
+                "target": [q.target.x, q.target.y, q.target.floor],
+                "time": str(q.query_time),
+                "label": q.label,
+            }
+            for q in queries
+        ],
+    }
+
+
+def queries_from_dict(document: Dict[str, Any]) -> List[ITSPQuery]:
+    """Rebuild a query workload from :func:`queries_to_dict` output."""
+    try:
+        queries = []
+        for entry in document["queries"]:
+            sx, sy, sf = entry["source"]
+            tx, ty, tf = entry["target"]
+            queries.append(
+                ITSPQuery(
+                    IndoorPoint(float(sx), float(sy), int(sf)),
+                    IndoorPoint(float(tx), float(ty), int(tf)),
+                    entry["time"],
+                    label=entry.get("label", ""),
+                )
+            )
+        return queries
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed query-workload document: {exc}") from exc
+
+
+# -- files -----------------------------------------------------------------------------------------
+
+
+def save_json(document: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write ``document`` as indented JSON and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return target
+
+
+def load_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a JSON document written by :func:`save_json`."""
+    try:
+        return json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc

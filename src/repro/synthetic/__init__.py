@@ -1,0 +1,43 @@
+"""Synthetic data generators reproducing the paper's evaluation setting.
+
+The paper's experiments (Section III) use:
+
+* a multi-floor indoor space derived from a real shopping-mall floor plan,
+  decomposed into regular partitions — 141 partitions and 224 doors per
+  1368 m x 1368 m floor, 5 floors connected by four staircases with 20 m
+  stairways (705 partitions / 1120 doors in the default setting);
+* door Active Time Intervals derived from crawled opening hours of shops in
+  five Hong Kong malls, reduced to checkpoint sets ``T`` of size 4–16 with up
+  to three ATIs per door;
+* query instances whose source-to-target indoor distance is controlled by a
+  parameter δs2t ∈ {1100, ..., 1900} m, five origin/destination pairs per
+  setting, issued at a fixed time of day.
+
+Neither the digitised floor plan nor the crawled shop hours are published, so
+this package generates statistically equivalent substitutes (see DESIGN.md
+§3): a parametric mall-style floor generator, an opening-hours model with
+realistic per-category profiles, and a δs2t-controlled workload generator.
+All generators are deterministic given a seed.
+"""
+
+from repro.synthetic.floorplan import MallFloorConfig, generate_mall_floor
+from repro.synthetic.multifloor import MultiFloorConfig, generate_mall_venue
+from repro.synthetic.schedules import MallHoursModel, ScheduleConfig, generate_schedule
+from repro.synthetic.queries import (
+    QueryWorkloadConfig,
+    door_distances_from_point,
+    generate_query_instances,
+)
+
+__all__ = [
+    "MallFloorConfig",
+    "generate_mall_floor",
+    "MultiFloorConfig",
+    "generate_mall_venue",
+    "MallHoursModel",
+    "ScheduleConfig",
+    "generate_schedule",
+    "QueryWorkloadConfig",
+    "generate_query_instances",
+    "door_distances_from_point",
+]

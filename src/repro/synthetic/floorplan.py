@@ -1,0 +1,442 @@
+"""Parametric generator of one mall-style floor.
+
+The generated floor mirrors the structure of the paper's decomposed shopping
+mall floor plan: three horizontal corridors (each decomposed into regular
+hallway cells), a vertical spine corridor connecting them, rows of shops on
+both sides of every corridor, four anchor stores, a food court, a private
+back-of-house block, and exterior doors.  At the default configuration one
+floor yields ≈140 partitions and ≈220 doors on a 1368 m x 1368 m footprint —
+the same scale as the paper's 141 partitions / 224 doors.
+
+All randomness (which shops get a second door, which are private storage
+areas) is driven by an explicit ``random.Random`` instance, so floors are
+reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.constants import DEFAULT_FLOOR_SIDE_M
+from repro.geometry.point import IndoorPoint
+from repro.indoor.builder import IndoorSpaceBuilder
+from repro.indoor.entities import PartitionCategory, PartitionType
+from repro.indoor.space import IndoorSpace
+
+
+@dataclass
+class MallFloorConfig:
+    """Tunable parameters of the floor generator.
+
+    The defaults approximate the paper's per-floor scale; benchmarks that
+    need a smaller venue (unit tests, CI) shrink ``shops_per_row`` and
+    ``corridor_cells``.
+    """
+
+    #: Side length of the (square) floor in metres.
+    side: float = DEFAULT_FLOOR_SIDE_M
+    #: Number of horizontal corridors.
+    corridors: int = 3
+    #: Number of hallway cells each corridor is decomposed into.
+    corridor_cells: int = 8
+    #: Corridor width in metres.
+    corridor_width: float = 12.0
+    #: Depth (in metres) of the shop rows flanking each corridor.
+    shop_depth: float = 60.0
+    #: Number of shop slots per row (one slot per row is consumed by the spine).
+    shops_per_row: int = 20
+    #: Fraction of shops that receive a second door onto their corridor.
+    double_door_fraction: float = 0.8
+    #: Fraction of shops converted to private storage areas.
+    private_shop_fraction: float = 0.05
+    #: Number of exterior doors to the outdoors.
+    exterior_doors: int = 4
+    #: Whether to add the outdoor pseudo-partition and exterior doors.
+    include_outdoors: bool = False
+
+    def corridor_centres(self) -> List[float]:
+        """Evenly spaced y-coordinates of the corridor centre lines."""
+        step = self.side / (self.corridors + 1)
+        return [step * (index + 1) for index in range(self.corridors)]
+
+
+@dataclass
+class FloorLayout:
+    """Description of a generated floor, returned alongside the space.
+
+    Keeps the identifiers the multi-floor assembler and the workload
+    generator need: which partitions are hallway cells (candidate staircase
+    anchors), which are shops, and the doors added per category.
+    """
+
+    floor: int
+    hallway_cells: List[str] = field(default_factory=list)
+    shops: List[str] = field(default_factory=list)
+    anchors: List[str] = field(default_factory=list)
+    private_partitions: List[str] = field(default_factory=list)
+    doors: List[str] = field(default_factory=list)
+    corner_hallways: List[str] = field(default_factory=list)
+
+
+class _FloorBuilder:
+    """Internal helper that incrementally lays out one floor."""
+
+    def __init__(self, builder: IndoorSpaceBuilder, config: MallFloorConfig, floor: int, rng: random.Random):
+        self.builder = builder
+        self.config = config
+        self.floor = floor
+        self.rng = rng
+        self.layout = FloorLayout(floor=floor)
+        self._door_counter = 0
+        self._partition_counter = 0
+
+    # -- identifier helpers --------------------------------------------------------
+
+    def next_partition_id(self, kind: str) -> str:
+        self._partition_counter += 1
+        return f"f{self.floor}-{kind}-{self._partition_counter}"
+
+    def next_door_id(self, kind: str) -> str:
+        self._door_counter += 1
+        door_id = f"f{self.floor}-{kind}-door-{self._door_counter}"
+        self.layout.doors.append(door_id)
+        return door_id
+
+    # -- corridors --------------------------------------------------------------------
+
+    def build_corridors(self) -> List[List[str]]:
+        """Create the horizontal corridors, decomposed into hallway cells.
+
+        Returns, per corridor, the ordered list of its cell identifiers.
+        """
+        config = self.config
+        cells_by_corridor: List[List[str]] = []
+        cell_width = config.side / config.corridor_cells
+        for corridor_index, centre in enumerate(config.corridor_centres()):
+            y_min = centre - config.corridor_width / 2
+            y_max = centre + config.corridor_width / 2
+            cells: List[str] = []
+            for cell_index in range(config.corridor_cells):
+                x_min = cell_index * cell_width
+                x_max = x_min + cell_width
+                cell_id = self.next_partition_id(f"hall{corridor_index}")
+                self.builder.add_rectangle_partition(
+                    cell_id,
+                    x_min,
+                    y_min,
+                    x_max,
+                    y_max,
+                    floor=self.floor,
+                    category=PartitionCategory.HALLWAY,
+                    name=f"corridor {corridor_index} cell {cell_index}",
+                )
+                cells.append(cell_id)
+                self.layout.hallway_cells.append(cell_id)
+            # Virtual doors between adjacent hallway cells of the corridor.
+            for cell_index in range(config.corridor_cells - 1):
+                x_wall = (cell_index + 1) * cell_width
+                self.builder.add_door(
+                    self.next_door_id("hall"),
+                    IndoorPoint(x_wall, centre, self.floor),
+                    between=(cells[cell_index], cells[cell_index + 1]),
+                )
+            cells_by_corridor.append(cells)
+            self.layout.corner_hallways.extend([cells[0], cells[-1]])
+        return cells_by_corridor
+
+    # -- spine ----------------------------------------------------------------------------
+
+    def build_spine(self, cells_by_corridor: List[List[str]]) -> List[str]:
+        """Create the vertical spine connecting consecutive corridors.
+
+        Each inter-corridor gap becomes a single tall spine cell connected to
+        the corridor cells above and below it.
+        """
+        config = self.config
+        centres = config.corridor_centres()
+        spine_x_centre = config.side / 2
+        spine_half_width = config.corridor_width / 2
+        spine_cells: List[str] = []
+        for gap_index in range(len(centres) - 1):
+            lower_centre = centres[gap_index]
+            upper_centre = centres[gap_index + 1]
+            y_min = lower_centre + config.corridor_width / 2
+            y_max = upper_centre - config.corridor_width / 2
+            cell_id = self.next_partition_id("spine")
+            self.builder.add_rectangle_partition(
+                cell_id,
+                spine_x_centre - spine_half_width,
+                y_min,
+                spine_x_centre + spine_half_width,
+                y_max,
+                floor=self.floor,
+                category=PartitionCategory.HALLWAY,
+                name=f"spine segment {gap_index}",
+            )
+            spine_cells.append(cell_id)
+            self.layout.hallway_cells.append(cell_id)
+
+            lower_cell = self._corridor_cell_at(cells_by_corridor[gap_index], spine_x_centre)
+            upper_cell = self._corridor_cell_at(cells_by_corridor[gap_index + 1], spine_x_centre)
+            self.builder.add_door(
+                self.next_door_id("spine"),
+                IndoorPoint(spine_x_centre, y_min, self.floor),
+                between=(lower_cell, cell_id),
+            )
+            self.builder.add_door(
+                self.next_door_id("spine"),
+                IndoorPoint(spine_x_centre, y_max, self.floor),
+                between=(cell_id, upper_cell),
+            )
+        return spine_cells
+
+    def _corridor_cell_at(self, cells: List[str], x: float) -> str:
+        """The corridor cell whose x-span contains ``x``."""
+        cell_width = self.config.side / self.config.corridor_cells
+        index = min(int(x // cell_width), len(cells) - 1)
+        return cells[index]
+
+    # -- shops ------------------------------------------------------------------------------
+
+    def build_shop_rows(self, cells_by_corridor: List[List[str]]) -> None:
+        """Create shop rows above and below every corridor."""
+        config = self.config
+        centres = config.corridor_centres()
+        spine_x_centre = config.side / 2
+        for corridor_index, centre in enumerate(centres):
+            for side in ("below", "above"):
+                if side == "below":
+                    y_max = centre - config.corridor_width / 2
+                    y_min = y_max - config.shop_depth
+                    door_y = y_max
+                else:
+                    y_min = centre + config.corridor_width / 2
+                    y_max = y_min + config.shop_depth
+                    door_y = y_min
+                if y_min < 0 or y_max > config.side:
+                    continue
+                self._build_one_shop_row(
+                    cells_by_corridor[corridor_index],
+                    corridor_index,
+                    side,
+                    y_min,
+                    y_max,
+                    door_y,
+                    spine_x_centre,
+                )
+
+    def _build_one_shop_row(
+        self,
+        corridor_cells: List[str],
+        corridor_index: int,
+        side: str,
+        y_min: float,
+        y_max: float,
+        door_y: float,
+        spine_x_centre: float,
+    ) -> None:
+        config = self.config
+        slot_width = config.side / config.shops_per_row
+        # The two outermost slots of the bottom-most and top-most rows become
+        # anchor stores (double-width); the slot crossed by the spine is left
+        # out so the spine can pass between the corridors.
+        is_anchor_row = (corridor_index == 0 and side == "below") or (
+            corridor_index == config.corridors - 1 and side == "above"
+        )
+        slot = 0
+        while slot < config.shops_per_row:
+            x_min = slot * slot_width
+            if is_anchor_row and slot in (0, config.shops_per_row - 2):
+                # Double-width anchor store.
+                x_max = x_min + 2 * slot_width
+                shop_id = self.next_partition_id("anchor")
+                self.builder.add_rectangle_partition(
+                    shop_id,
+                    x_min,
+                    y_min,
+                    x_max,
+                    y_max,
+                    floor=self.floor,
+                    category=PartitionCategory.ANCHOR_STORE,
+                    name=f"anchor c{corridor_index}-{side}-{slot}",
+                )
+                self.layout.anchors.append(shop_id)
+                self._attach_shop_doors(shop_id, corridor_cells, x_min, x_max, door_y, doors=2)
+                slot += 2
+                continue
+
+            x_max = x_min + slot_width
+            spine_half_width = config.corridor_width / 2
+            overlaps_spine = (
+                x_min < spine_x_centre + spine_half_width
+                and x_max > spine_x_centre - spine_half_width
+            )
+            if not is_anchor_row and overlaps_spine:
+                # Slot consumed by the spine crossing between corridors; the
+                # spine cell occupies the inter-corridor gap so this row slot
+                # simply stays empty.
+                slot += 1
+                continue
+
+            is_private = self.rng.random() < config.private_shop_fraction
+            category = PartitionCategory.STORAGE if is_private else PartitionCategory.SHOP
+            shop_id = self.next_partition_id("store" if not is_private else "storage")
+            self.builder.add_rectangle_partition(
+                shop_id,
+                x_min,
+                y_min,
+                x_max,
+                y_max,
+                floor=self.floor,
+                partition_type=PartitionType.PRIVATE if is_private else PartitionType.PUBLIC,
+                category=category,
+                name=f"shop c{corridor_index}-{side}-{slot}",
+            )
+            self.layout.shops.append(shop_id)
+            if is_private:
+                self.layout.private_partitions.append(shop_id)
+            doors = 2 if self.rng.random() < config.double_door_fraction else 1
+            self._attach_shop_doors(shop_id, corridor_cells, x_min, x_max, door_y, doors=doors)
+            slot += 1
+
+    def _attach_shop_doors(
+        self,
+        shop_id: str,
+        corridor_cells: List[str],
+        x_min: float,
+        x_max: float,
+        door_y: float,
+        doors: int,
+    ) -> None:
+        """Place 1 or 2 doors on the shop's corridor-facing wall."""
+        if doors <= 1:
+            positions = [(x_min + x_max) / 2]
+        else:
+            width = x_max - x_min
+            positions = [x_min + width * 0.25, x_min + width * 0.75]
+        for x in positions:
+            corridor_cell = self._corridor_cell_at(corridor_cells, x)
+            self.builder.add_door(
+                self.next_door_id("shop"),
+                IndoorPoint(x, door_y, self.floor),
+                between=(corridor_cell, shop_id),
+            )
+
+    # -- special blocks -------------------------------------------------------------------------
+
+    def build_service_blocks(self, spine_cells: List[str]) -> None:
+        """Add the food court and a private back-of-house block beside the spine."""
+        config = self.config
+        if not spine_cells:
+            return
+        centres = config.corridor_centres()
+        spine_x_centre = config.side / 2
+        spine_half_width = config.corridor_width / 2
+        # Use the first inter-corridor gap for the food court (west of the
+        # spine) and the back-of-house block (east of the spine).
+        y_min = centres[0] + config.corridor_width / 2 + config.shop_depth
+        y_max = centres[1] - config.corridor_width / 2 - config.shop_depth
+        if y_max - y_min < 20:
+            return
+        food_court_id = self.next_partition_id("foodcourt")
+        self.builder.add_rectangle_partition(
+            food_court_id,
+            spine_x_centre - spine_half_width - 200,
+            y_min,
+            spine_x_centre - spine_half_width,
+            y_max,
+            floor=self.floor,
+            category=PartitionCategory.FOOD_COURT,
+            name="food court",
+        )
+        self.layout.shops.append(food_court_id)
+        self.builder.add_door(
+            self.next_door_id("foodcourt"),
+            IndoorPoint(spine_x_centre - spine_half_width, (y_min + y_max) / 2, self.floor),
+            between=(spine_cells[0], food_court_id),
+        )
+
+        back_office_id = self.next_partition_id("backoffice")
+        self.builder.add_rectangle_partition(
+            back_office_id,
+            spine_x_centre + spine_half_width,
+            y_min,
+            spine_x_centre + spine_half_width + 200,
+            y_max,
+            floor=self.floor,
+            partition_type=PartitionType.PRIVATE,
+            category=PartitionCategory.OFFICE,
+            name="back of house",
+        )
+        self.layout.private_partitions.append(back_office_id)
+        self.builder.add_door(
+            self.next_door_id("backoffice"),
+            IndoorPoint(spine_x_centre + spine_half_width, (y_min + y_max) / 2, self.floor),
+            between=(spine_cells[0], back_office_id),
+        )
+
+    def build_exterior_doors(self, cells_by_corridor: List[List[str]]) -> None:
+        """Connect the corridor ends to the outdoors (ground floor only)."""
+        config = self.config
+        if not config.include_outdoors or self.floor != 0:
+            return
+        self.builder.add_outdoors()
+        added = 0
+        for corridor_index, centre in enumerate(config.corridor_centres()):
+            for end_x, cell in ((0.0, cells_by_corridor[corridor_index][0]),
+                                (config.side, cells_by_corridor[corridor_index][-1])):
+                if added >= config.exterior_doors:
+                    return
+                self.builder.add_door_to_outdoors(
+                    self.next_door_id("exit"),
+                    IndoorPoint(end_x, centre, self.floor),
+                    cell,
+                )
+                added += 1
+
+
+def generate_mall_floor(
+    config: Optional[MallFloorConfig] = None,
+    floor: int = 0,
+    seed: int = 7,
+    builder: Optional[IndoorSpaceBuilder] = None,
+    rng: Optional[random.Random] = None,
+) -> Tuple[IndoorSpace, FloorLayout]:
+    """Generate one mall floor.
+
+    Parameters
+    ----------
+    config:
+        Layout parameters; defaults approximate the paper's per-floor scale.
+    floor:
+        Floor index stamped on every partition and door.
+    seed:
+        Seed used when ``rng`` is not supplied.
+    builder:
+        Existing builder to add the floor to (used by the multi-floor
+        assembler); a fresh one is created otherwise.
+    rng:
+        Random generator driving the stochastic choices.
+
+    Returns
+    -------
+    (space, layout):
+        The indoor space (only built/validated when ``builder`` was not
+        supplied) and the floor layout description.
+    """
+    config = config or MallFloorConfig()
+    rng = rng or random.Random(seed)
+    own_builder = builder is None
+    builder = builder or IndoorSpaceBuilder(f"synthetic-mall-floor-{floor}")
+
+    floor_builder = _FloorBuilder(builder, config, floor, rng)
+    corridors = floor_builder.build_corridors()
+    spine_cells = floor_builder.build_spine(corridors)
+    floor_builder.build_shop_rows(corridors)
+    floor_builder.build_service_blocks(spine_cells)
+    floor_builder.build_exterior_doors(corridors)
+
+    space = builder.build() if own_builder else builder.space
+    return space, floor_builder.layout

@@ -1,0 +1,146 @@
+"""Assembly of the multi-floor synthetic venue.
+
+The paper's default space stacks five copies of the decomposed mall floor and
+connects every pair of adjacent floors with four staircases, each having a
+20 m stairway.  ``generate_mall_venue`` reproduces that construction: floors
+are generated with :func:`repro.synthetic.floorplan.generate_mall_floor` into
+one shared builder, then staircase partitions are inserted between adjacent
+floors at the corridor ends.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.constants import DEFAULT_STAIRWAY_LENGTH_M
+from repro.geometry.point import IndoorPoint
+from repro.indoor.builder import IndoorSpaceBuilder
+from repro.indoor.space import IndoorSpace
+from repro.synthetic.floorplan import FloorLayout, MallFloorConfig, generate_mall_floor
+
+
+@dataclass
+class MultiFloorConfig:
+    """Parameters of the multi-floor venue."""
+
+    #: Number of floors (5 in the paper's default setting).
+    floors: int = 5
+    #: Number of staircases between each pair of adjacent floors (4 in the paper).
+    staircases_per_floor_pair: int = 4
+    #: Walking length of each stairway in metres (20 m in the paper).
+    stairway_length: float = DEFAULT_STAIRWAY_LENGTH_M
+    #: Per-floor layout parameters.
+    floor_config: MallFloorConfig = field(default_factory=MallFloorConfig)
+
+    @classmethod
+    def paper_default(cls) -> "MultiFloorConfig":
+        """The paper's default setting: 5 floors, 4 staircases, full-size floors."""
+        return cls()
+
+    @classmethod
+    def small(cls, floors: int = 2) -> "MultiFloorConfig":
+        """A reduced venue for unit tests and quick benchmark runs."""
+        return cls(
+            floors=floors,
+            staircases_per_floor_pair=2,
+            floor_config=MallFloorConfig(
+                side=400.0,
+                corridors=2,
+                corridor_cells=4,
+                shop_depth=30.0,
+                shops_per_row=8,
+                double_door_fraction=0.3,
+                private_shop_fraction=0.05,
+            ),
+        )
+
+
+@dataclass
+class MallVenue:
+    """The generated venue plus the per-floor layouts and staircase inventory."""
+
+    space: IndoorSpace
+    floor_layouts: Dict[int, FloorLayout]
+    staircases: List[str] = field(default_factory=list)
+
+    @property
+    def floors(self) -> int:
+        """Number of floors generated."""
+        return len(self.floor_layouts)
+
+    def all_shops(self) -> List[str]:
+        """All shop/anchor partitions across floors (query-point candidates)."""
+        shops: List[str] = []
+        for layout in self.floor_layouts.values():
+            shops.extend(layout.shops)
+            shops.extend(layout.anchors)
+        return shops
+
+    def all_doors(self) -> List[str]:
+        """All door identifiers across floors (schedule-assignment universe)."""
+        doors: List[str] = []
+        for layout in self.floor_layouts.values():
+            doors.extend(layout.doors)
+        return doors
+
+
+def generate_mall_venue(
+    config: Optional[MultiFloorConfig] = None,
+    seed: int = 7,
+) -> MallVenue:
+    """Generate the multi-floor synthetic mall venue.
+
+    The venue is deterministic given ``seed``.  Staircases are placed at the
+    outer ends of the corridors (cycling through the available corridor-end
+    hallway cells), with their two doors positioned at the cells' centres and
+    the stairway length registered as an explicit intra-partition distance.
+    """
+    config = config or MultiFloorConfig()
+    rng = random.Random(seed)
+    builder = IndoorSpaceBuilder("synthetic-mall")
+
+    layouts: Dict[int, FloorLayout] = {}
+    for floor in range(config.floors):
+        _, layout = generate_mall_floor(
+            config.floor_config, floor=floor, builder=builder, rng=rng
+        )
+        layouts[floor] = layout
+
+    staircases: List[str] = []
+    for lower_floor in range(config.floors - 1):
+        upper_floor = lower_floor + 1
+        lower_candidates = layouts[lower_floor].corner_hallways
+        upper_candidates = layouts[upper_floor].corner_hallways
+        count = min(
+            config.staircases_per_floor_pair, len(lower_candidates), len(upper_candidates)
+        )
+        for index in range(count):
+            lower_cell = lower_candidates[index % len(lower_candidates)]
+            upper_cell = upper_candidates[index % len(upper_candidates)]
+            staircase_id = f"stair-{lower_floor}-{upper_floor}-{index}"
+            lower_anchor = builder.space.partition(lower_cell).polygon.centroid
+            upper_anchor = builder.space.partition(upper_cell).polygon.centroid
+            builder.add_staircase(
+                staircase_id,
+                lower_floor,
+                upper_floor,
+                lower_door=(
+                    f"{staircase_id}-low",
+                    IndoorPoint(lower_anchor.x, lower_anchor.y, lower_floor),
+                    lower_cell,
+                ),
+                upper_door=(
+                    f"{staircase_id}-up",
+                    IndoorPoint(upper_anchor.x, upper_anchor.y, upper_floor),
+                    upper_cell,
+                ),
+                stairway_length=config.stairway_length,
+            )
+            staircases.append(staircase_id)
+            layouts[lower_floor].doors.append(f"{staircase_id}-low")
+            layouts[upper_floor].doors.append(f"{staircase_id}-up")
+
+    space = builder.build()
+    return MallVenue(space=space, floor_layouts=layouts, staircases=staircases)

@@ -1,0 +1,247 @@
+"""Query-instance generation with controlled source-to-target distance.
+
+The paper controls the indoor distance between the query endpoints with a
+parameter δs2t: a source point ``p_s`` is drawn at random, a door ``d`` whose
+indoor (graph) distance from ``p_s`` approximates δs2t is located, and a
+target point ``p_t`` near ``d`` is chosen so that the overall indoor distance
+approaches δs2t.  Five origin/destination pairs are generated per setting and
+each is issued at a fixed query time (12:00 by default).
+
+``door_distances_from_point`` implements the one-to-all door distances that
+construction needs: a temporal-variation-*unaware* door-level Dijkstra from a
+point (the workload must not depend on the schedule under test, otherwise the
+δs2t buckets would change with ``|T|``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.itgraph import ITGraph
+from repro.core.query import ITSPQuery
+from repro.exceptions import UnknownEntityError
+from repro.geometry.point import IndoorPoint, Point2D
+from repro.geometry.polygon import Polygon
+from repro.indoor.entities import Partition, PartitionCategory
+from repro.temporal.timeofday import TimeLike, as_time_of_day
+
+
+def door_distances_from_point(
+    itgraph: ITGraph,
+    source: IndoorPoint,
+    allow_private: bool = False,
+) -> Dict[str, float]:
+    """Indoor distances from ``source`` to every reachable door.
+
+    Runs a static (temporal-unaware) door-level Dijkstra: distances are the
+    lengths of the shortest indoor routes that avoid private partitions
+    (other than the source's own) unless ``allow_private`` is set.
+    """
+    topology = itgraph.topology
+    source_partition = itgraph.covering_partition(source)
+    source_pid = source_partition.partition_id
+
+    dist: Dict[str, float] = {}
+    heap: List[Tuple[float, int, str]] = []
+    counter = itertools.count()
+
+    def push(door_id: str, distance: float) -> None:
+        if distance < dist.get(door_id, float("inf")):
+            dist[door_id] = distance
+            heapq.heappush(heap, (distance, next(counter), door_id))
+
+    for door_id in topology.leaveable_doors(source_pid):
+        try:
+            push(door_id, itgraph.point_to_door(source, door_id, source_pid))
+        except UnknownEntityError:
+            continue
+
+    settled: set = set()
+    while heap:
+        distance, _, door_id = heapq.heappop(heap)
+        if door_id in settled or distance > dist.get(door_id, float("inf")):
+            continue
+        settled.add(door_id)
+        for partition_id in topology.enterable_partitions(door_id):
+            record = itgraph.partition_record(partition_id)
+            if record.is_outdoor:
+                continue
+            if record.is_private and not allow_private and partition_id != source_pid:
+                continue
+            for next_door in topology.leaveable_doors(partition_id):
+                if next_door == door_id or next_door in settled:
+                    continue
+                try:
+                    leg = itgraph.intra_distance(partition_id, door_id, next_door)
+                except UnknownEntityError:
+                    continue
+                push(next_door, distance + leg)
+    return dist
+
+
+@dataclass
+class QueryWorkloadConfig:
+    """Parameters of the δs2t-controlled query workload."""
+
+    #: Target indoor distance between the endpoints, in metres.
+    s2t_distance: float = 1500.0
+    #: Number of origin/destination pairs to generate (the paper uses five).
+    pairs: int = 5
+    #: Query timestamp assigned to every instance (12:00 in the paper).
+    query_time: TimeLike = "12:00"
+    #: Acceptable relative deviation of the achieved distance from δs2t.
+    tolerance: float = 0.25
+    #: Seed of the workload generator.
+    seed: int = 23
+    #: Partition categories the endpoints may fall in.
+    endpoint_categories: Tuple[PartitionCategory, ...] = (
+        PartitionCategory.SHOP,
+        PartitionCategory.ANCHOR_STORE,
+        PartitionCategory.FOOD_COURT,
+        PartitionCategory.HALLWAY,
+    )
+    #: How many random sources to try before accepting the best approximation.
+    max_attempts: int = 40
+
+
+@dataclass
+class GeneratedQuery:
+    """A generated query instance plus the distance it actually realises."""
+
+    query: ITSPQuery
+    achieved_distance: float
+    target_door: str
+
+
+def _random_point_in_partition(partition: Partition, rng: random.Random) -> Optional[IndoorPoint]:
+    """Rejection-sample a point strictly inside ``partition``'s polygon."""
+    polygon: Optional[Polygon] = partition.polygon
+    if polygon is None:
+        return None
+    box = polygon.bounding_box
+    for _ in range(64):
+        x = rng.uniform(box.min_x, box.max_x)
+        y = rng.uniform(box.min_y, box.max_y)
+        if polygon.contains(Point2D(x, y)):
+            return IndoorPoint(x, y, partition.floor)
+    centroid = polygon.centroid
+    return IndoorPoint(centroid.x, centroid.y, partition.floor)
+
+
+def _candidate_partitions(
+    itgraph: ITGraph, categories: Sequence[PartitionCategory]
+) -> List[Partition]:
+    """Partitions eligible to host query endpoints."""
+    wanted = set(categories)
+    result: List[Partition] = []
+    for partition in itgraph.space.iter_partitions():
+        if partition.is_outdoor or partition.is_staircase or partition.polygon is None:
+            continue
+        if partition.is_private:
+            continue
+        if partition.category in wanted:
+            result.append(partition)
+    return result
+
+
+def _locate_consistent(itgraph: ITGraph, point: IndoorPoint, partition: Partition) -> bool:
+    """``True`` when point location resolves the point back to ``partition``.
+
+    Generated floors may contain touching footprints; endpoints whose
+    covering partition is ambiguous are rejected so the workload stays
+    well-defined.
+    """
+    located = itgraph.space.try_locate(point)
+    return located is not None and located.partition_id == partition.partition_id
+
+
+def generate_query_instances(
+    itgraph: ITGraph,
+    config: Optional[QueryWorkloadConfig] = None,
+) -> List[GeneratedQuery]:
+    """Generate δs2t-controlled query instances over ``itgraph``.
+
+    For each requested pair: draw a random source point, compute static door
+    distances from it, pick the door whose distance best approximates δs2t,
+    and place the target point inside a partition entered through that door.
+    Pairs whose achieved distance deviates from δs2t by more than the
+    configured tolerance are retried with a new source (up to
+    ``max_attempts``); the best approximation seen is kept as a fallback so
+    the generator always returns the requested number of instances.
+    """
+    config = config or QueryWorkloadConfig()
+    rng = random.Random(config.seed)
+    query_time = as_time_of_day(config.query_time)
+    candidates = _candidate_partitions(itgraph, config.endpoint_categories)
+    if not candidates:
+        raise UnknownEntityError("no eligible partitions for query endpoints")
+
+    topology = itgraph.topology
+    instances: List[GeneratedQuery] = []
+
+    for pair_index in range(config.pairs):
+        best: Optional[GeneratedQuery] = None
+        for _ in range(config.max_attempts):
+            source_partition = rng.choice(candidates)
+            source = _random_point_in_partition(source_partition, rng)
+            if source is None or not _locate_consistent(itgraph, source, source_partition):
+                continue
+
+            distances = door_distances_from_point(itgraph, source)
+            if not distances:
+                continue
+            # The door whose static distance best approximates δs2t.
+            door_id, door_distance = min(
+                distances.items(), key=lambda item: abs(item[1] - config.s2t_distance)
+            )
+
+            target: Optional[IndoorPoint] = None
+            target_pid: Optional[str] = None
+            for partition_id in topology.enterable_partitions(door_id):
+                record = itgraph.partition_record(partition_id)
+                if record.is_private or record.is_outdoor:
+                    continue
+                partition = itgraph.space.partition(partition_id)
+                if partition.is_staircase:
+                    continue
+                candidate_point = _random_point_in_partition(partition, rng)
+                if candidate_point is None:
+                    continue
+                if candidate_point.floor != itgraph.door_position(door_id).floor:
+                    continue
+                if not _locate_consistent(itgraph, candidate_point, partition):
+                    continue
+                target = candidate_point
+                target_pid = partition_id
+                break
+            if target is None or target_pid is None:
+                continue
+
+            achieved = door_distance + itgraph.point_to_door(target, door_id, target_pid)
+            candidate = GeneratedQuery(
+                query=ITSPQuery(
+                    source,
+                    target,
+                    query_time,
+                    label=f"s2t={config.s2t_distance:.0f}m#{pair_index}",
+                ),
+                achieved_distance=achieved,
+                target_door=door_id,
+            )
+            if best is None or abs(candidate.achieved_distance - config.s2t_distance) < abs(
+                best.achieved_distance - config.s2t_distance
+            ):
+                best = candidate
+            if abs(achieved - config.s2t_distance) <= config.tolerance * config.s2t_distance:
+                break
+        if best is None:
+            raise UnknownEntityError(
+                "could not generate a query instance; the venue may be too small "
+                f"for s2t_distance={config.s2t_distance}"
+            )
+        instances.append(best)
+    return instances

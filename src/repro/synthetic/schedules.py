@@ -1,0 +1,202 @@
+"""Synthetic door schedules: the opening-hours model and ATI assignment.
+
+The paper derives door Active Time Intervals from crawled opening hours of
+shops in five Hong Kong malls: random (open, close) pairs are selected to
+form a checkpoint set ``T`` of size 4, 8, 12 or 16, and each door with
+temporal variation receives up to three ATIs built from pairs in ``T``.
+
+The crawled data is not published, so :class:`MallHoursModel` generates
+statistically similar opening hours: per-category profiles (anchor stores
+open early and close late, food courts close latest, retail shops cluster
+around 10:00–22:00, back-of-house doors follow office hours), quantised to
+half-hour boundaries.  The checkpoint-set construction and per-door ATI
+assignment then follow the paper's procedure: ``T`` is made of |T|/2
+(open, close) pairs, and every temporally varying door receives one to three
+ATIs, each spanning one of those pairs.  As in the paper this makes noon a
+time when nearly every door is open, while early morning and late evening
+see progressively more doors closed as ``|T|`` grows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.indoor.entities import PartitionCategory
+from repro.indoor.space import IndoorSpace
+from repro.temporal.atis import ATISet
+from repro.temporal.checkpoints import CheckpointSet
+from repro.temporal.interval import TimeInterval
+from repro.temporal.schedule import DoorSchedule
+from repro.temporal.timeofday import TimeOfDay
+
+
+#: Opening-hour profiles per partition category: (open_low, open_high,
+#: close_low, close_high) in decimal hours.  Sampled uniformly and quantised
+#: to half hours.
+_CATEGORY_PROFILES: Dict[PartitionCategory, Tuple[float, float, float, float]] = {
+    PartitionCategory.ANCHOR_STORE: (7.0, 9.0, 21.0, 23.0),
+    PartitionCategory.SHOP: (8.0, 11.0, 17.0, 22.0),
+    PartitionCategory.FOOD_COURT: (6.5, 8.0, 22.0, 23.5),
+    PartitionCategory.OFFICE: (7.5, 9.5, 17.0, 19.0),
+    PartitionCategory.STORAGE: (6.0, 8.0, 16.0, 18.0),
+    PartitionCategory.WARD: (8.0, 10.0, 18.0, 20.0),
+    PartitionCategory.HALLWAY: (5.0, 7.0, 22.0, 23.5),
+    PartitionCategory.LOBBY: (5.0, 6.0, 23.0, 23.5),
+}
+
+_DEFAULT_PROFILE: Tuple[float, float, float, float] = (8.0, 10.0, 18.0, 22.0)
+
+#: An (open, close) pair of instants, as crawled from a shop's opening hours.
+OpeningHours = Tuple[TimeOfDay, TimeOfDay]
+
+
+def _quantise_to_half_hour(hours: float) -> float:
+    """Snap a decimal-hour value to the nearest half hour inside the day."""
+    snapped = round(hours * 2.0) / 2.0
+    return min(max(snapped, 0.0), 23.5)
+
+
+@dataclass
+class MallHoursModel:
+    """Generator of realistic mall opening hours.
+
+    ``sample_opening_hours`` draws one (open, close) pair for a partition
+    category; ``sample_checkpoint_pairs`` builds the checkpoint set ``T`` of
+    the requested size from such pairs, mirroring the paper's construction.
+    """
+
+    seed: int = 7
+    categories: Sequence[PartitionCategory] = (
+        PartitionCategory.SHOP,
+        PartitionCategory.ANCHOR_STORE,
+        PartitionCategory.FOOD_COURT,
+        PartitionCategory.OFFICE,
+        PartitionCategory.STORAGE,
+    )
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def sample_opening_hours(
+        self,
+        category: PartitionCategory = PartitionCategory.SHOP,
+        rng: Optional[random.Random] = None,
+    ) -> OpeningHours:
+        """Draw one (open, close) pair for ``category``, half-hour quantised."""
+        rng = rng or self._rng
+        open_low, open_high, close_low, close_high = _CATEGORY_PROFILES.get(
+            category, _DEFAULT_PROFILE
+        )
+        open_hours = _quantise_to_half_hour(rng.uniform(open_low, open_high))
+        close_hours = _quantise_to_half_hour(rng.uniform(close_low, close_high))
+        if close_hours <= open_hours:
+            close_hours = min(23.5, open_hours + 8.0)
+        return TimeOfDay.from_hours(open_hours), TimeOfDay.from_hours(close_hours)
+
+    def sample_checkpoint_pairs(
+        self, size: int, rng: Optional[random.Random] = None
+    ) -> Tuple[CheckpointSet, List[OpeningHours]]:
+        """Build ``T`` of ``size`` instants, as ``size / 2`` (open, close) pairs.
+
+        Returns both the checkpoint set and the pairs; the pairs are what the
+        per-door ATI assignment samples from, so that every ATI spans an
+        (open, close) combination as in the paper.
+        """
+        if size <= 0:
+            raise ValueError(f"checkpoint set size must be positive, got {size}")
+        rng = rng or self._rng
+        target_pairs = max(1, size // 2)
+        pairs: List[OpeningHours] = []
+        seen: set = set()
+        attempts = 0
+        # Reject duplicate instants so the checkpoint set reaches the target size.
+        while len(pairs) < target_pairs and attempts < 500:
+            attempts += 1
+            category = rng.choice(list(self.categories))
+            open_time, close_time = self.sample_opening_hours(category, rng)
+            if open_time.seconds in seen or close_time.seconds in seen:
+                continue
+            seen.add(open_time.seconds)
+            seen.add(close_time.seconds)
+            pairs.append((open_time, close_time))
+        instants = [t for pair in pairs for t in pair]
+        return CheckpointSet(instants), pairs
+
+    def sample_checkpoints(self, size: int, rng: Optional[random.Random] = None) -> CheckpointSet:
+        """Convenience wrapper returning only the checkpoint set."""
+        checkpoints, _ = self.sample_checkpoint_pairs(size, rng)
+        return checkpoints
+
+
+@dataclass
+class ScheduleConfig:
+    """Parameters of the per-door ATI assignment."""
+
+    #: Target checkpoint-set size ``|T|`` (4, 8, 12 or 16 in the paper).
+    checkpoint_count: int = 8
+    #: Fraction of eligible doors that carry temporal variation.
+    temporal_door_fraction: float = 0.9
+    #: Maximum number of ATIs per door (the paper uses up to three).
+    max_atis_per_door: int = 3
+    #: Seed of the assignment (independent from the venue seed).
+    seed: int = 11
+    #: Door-id substrings that exempt a door from temporal variation
+    #: (staircases and exterior exits stay open around the clock).
+    always_open_markers: Tuple[str, ...] = ("stair", "exit")
+
+
+def _atis_from_pairs(
+    pairs: Sequence[OpeningHours], count: int, rng: random.Random
+) -> ATISet:
+    """Build an ATI set from up to ``count`` sampled (open, close) pairs."""
+    if not pairs:
+        return ATISet.always_open()
+    chosen = rng.sample(list(pairs), min(count, len(pairs)))
+    return ATISet(TimeInterval(open_time, close_time) for open_time, close_time in chosen)
+
+
+def generate_schedule(
+    space: IndoorSpace,
+    config: Optional[ScheduleConfig] = None,
+    doors: Optional[Iterable[str]] = None,
+    hours_model: Optional[MallHoursModel] = None,
+) -> Tuple[DoorSchedule, CheckpointSet]:
+    """Assign ATIs to the doors of ``space`` following the paper's procedure.
+
+    Parameters
+    ----------
+    space:
+        The venue whose doors receive schedules.
+    config:
+        Assignment parameters (``|T|``, temporal-door fraction, ATIs per door).
+    doors:
+        Door universe to consider; defaults to every door of the space.
+    hours_model:
+        Opening-hours model used to sample the checkpoint pairs.
+
+    Returns
+    -------
+    (schedule, checkpoints):
+        The door schedule and the checkpoint set ``T`` it was built from.
+        The schedule's own ``checkpoints()`` may be a subset of ``T`` when
+        not every instant ends up used by some door.
+    """
+    config = config or ScheduleConfig()
+    rng = random.Random(config.seed)
+    hours_model = hours_model or MallHoursModel(seed=config.seed)
+
+    checkpoints, pairs = hours_model.sample_checkpoint_pairs(config.checkpoint_count, rng)
+
+    atis_by_door: Dict[str, ATISet] = {}
+    door_ids = list(doors) if doors is not None else space.door_ids()
+    for door_id in door_ids:
+        if any(marker in door_id for marker in config.always_open_markers):
+            continue
+        if rng.random() > config.temporal_door_fraction:
+            continue
+        count = rng.randint(1, max(1, config.max_atis_per_door))
+        atis_by_door[door_id] = _atis_from_pairs(pairs, count, rng)
+
+    return DoorSchedule(atis_by_door), checkpoints

@@ -1,0 +1,41 @@
+"""Temporal-variation substrate: times of day, Active Time Intervals (ATIs),
+door schedules and checkpoint sets.
+
+The paper models each door's availability as an array of *Active Time
+Intervals* ``[open-time, close-time)`` within a single day (Table I shows the
+running example).  The distinct open/close instants across all doors form the
+*checkpoint set* ``T``; between two consecutive checkpoints the indoor
+topology is constant, which is exactly the property the asynchronous ITG/A
+method exploits.
+
+Public classes
+--------------
+:class:`~repro.temporal.timeofday.TimeOfDay`
+    A time of day in seconds since midnight, parseable from ``"8:30"`` style
+    strings.
+:class:`~repro.temporal.interval.TimeInterval`
+    A half-open interval ``[start, end)``.
+:class:`~repro.temporal.atis.ATISet`
+    A normalised (sorted, disjoint) collection of ATIs with O(log n)
+    membership tests.
+:class:`~repro.temporal.schedule.DoorSchedule`
+    Mapping from door identifiers to their ``ATISet``; knows which doors are
+    open at a given time and derives the checkpoint set.
+:class:`~repro.temporal.checkpoints.CheckpointSet`
+    The ordered set of open/close instants with the paper's
+    ``Find_Previous_Checkpoint`` / ``Find_Next_Checkpoint`` primitives.
+"""
+
+from repro.temporal.timeofday import TimeOfDay
+from repro.temporal.interval import TimeInterval
+from repro.temporal.atis import ATISet
+from repro.temporal.checkpoints import CheckpointSet
+from repro.temporal.schedule import DoorSchedule
+
+__all__ = [
+    "TimeOfDay",
+    "TimeInterval",
+    "ATISet",
+    "CheckpointSet",
+    "DoorSchedule",
+]

@@ -1,0 +1,192 @@
+"""Active Time Interval sets (ATIs).
+
+A door with temporal variation carries an array of ATIs, e.g. door ``d9`` of
+the running example is open during ``[0:00, 6:00)`` and ``[6:30, 23:00)``.
+``ATISet`` normalises the intervals (sorted by start, merged when they touch)
+and answers membership queries in ``O(log n)`` via binary search — the hot
+operation of the synchronous ITG/S check.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.temporal.interval import TimeInterval
+from repro.temporal.timeofday import TimeLike, TimeOfDay, as_time_of_day
+
+
+class ATISet:
+    """A normalised, immutable collection of Active Time Intervals.
+
+    The constructor accepts intervals in any order, possibly overlapping or
+    abutting; they are merged into the canonical minimal representation.  An
+    empty ``ATISet`` models a door that is never open.
+    """
+
+    __slots__ = ("_intervals", "_starts")
+
+    def __init__(self, intervals: Iterable[TimeInterval] = ()):  # noqa: D401
+        merged = _normalise(list(intervals))
+        self._intervals: Tuple[TimeInterval, ...] = tuple(merged)
+        self._starts: List[float] = [iv.start.seconds for iv in self._intervals]
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[TimeLike, TimeLike]]) -> "ATISet":
+        """Build an ATI set from ``(open, close)`` pairs such as ``("8:00", "16:00")``."""
+        return cls(TimeInterval(start, end) for start, end in pairs)
+
+    @classmethod
+    def always_open(cls) -> "ATISet":
+        """The ``[0:00, 24:00)`` ATI set of a door without temporal variation."""
+        return cls([TimeInterval("0:00", "24:00")])
+
+    @classmethod
+    def never_open(cls) -> "ATISet":
+        """An empty ATI set: the door is permanently closed."""
+        return cls()
+
+    # -- collection protocol -----------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[TimeInterval, ...]:
+        """The normalised intervals, ordered by start time."""
+        return self._intervals
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[TimeInterval]:
+        return iter(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ATISet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    # -- queries -----------------------------------------------------------
+
+    def contains(self, instant: TimeLike) -> bool:
+        """Return ``True`` when the door is open at ``instant``.
+
+        This is the primitive used by the paper's ``Syn_Check``: the arrival
+        time is tested for membership in the door's ATIs.
+        """
+        if not self._intervals:
+            return False
+        t = as_time_of_day(instant).seconds
+        index = bisect.bisect_right(self._starts, t) - 1
+        if index < 0:
+            return False
+        return self._intervals[index].contains(t)
+
+    __contains__ = contains
+
+    def interval_containing(self, instant: TimeLike) -> Optional[TimeInterval]:
+        """Return the ATI containing ``instant``, or ``None`` when closed."""
+        if not self._intervals:
+            return None
+        t = as_time_of_day(instant).seconds
+        index = bisect.bisect_right(self._starts, t) - 1
+        if index < 0:
+            return None
+        candidate = self._intervals[index]
+        return candidate if candidate.contains(t) else None
+
+    def next_opening(self, instant: TimeLike) -> Optional[TimeOfDay]:
+        """Return the first opening time at or after ``instant``.
+
+        Returns ``instant`` itself when the door is already open, and ``None``
+        when the door never opens again during the day.  Used by the optional
+        waiting-tolerant extension of the engine.
+        """
+        t = as_time_of_day(instant)
+        containing = self.interval_containing(t)
+        if containing is not None:
+            return t
+        for interval in self._intervals:
+            if interval.start >= t:
+                return interval.start
+        return None
+
+    def is_open_throughout(self, interval: TimeInterval) -> bool:
+        """Return ``True`` when the door stays open for the whole of ``interval``."""
+        containing = self.interval_containing(interval.start)
+        if containing is None:
+            return False
+        return containing.end >= interval.end
+
+    def total_open_seconds(self) -> float:
+        """Total number of seconds per day during which the door is open."""
+        return sum(interval.duration for interval in self._intervals)
+
+    def boundary_times(self) -> List[TimeOfDay]:
+        """All open/close instants — the door's contribution to the checkpoint set."""
+        times: List[TimeOfDay] = []
+        for interval in self._intervals:
+            times.append(interval.start)
+            times.append(interval.end)
+        return times
+
+    # -- set algebra ---------------------------------------------------------
+
+    def union(self, other: "ATISet") -> "ATISet":
+        """Return the ATI set open whenever either operand is open."""
+        return ATISet(list(self._intervals) + list(other._intervals))
+
+    def intersection(self, other: "ATISet") -> "ATISet":
+        """Return the ATI set open only when both operands are open."""
+        result: List[TimeInterval] = []
+        for a in self._intervals:
+            for b in other._intervals:
+                overlap = a.intersection(b)
+                if overlap is not None:
+                    result.append(overlap)
+        return ATISet(result)
+
+    def complement(self) -> "ATISet":
+        """Return the closed periods of the day as an ATI set."""
+        if not self._intervals:
+            return ATISet.always_open()
+        closed: List[TimeInterval] = []
+        cursor = TimeOfDay.midnight()
+        for interval in self._intervals:
+            if interval.start > cursor:
+                closed.append(TimeInterval(cursor, interval.start))
+            cursor = max(cursor, interval.end)
+        end_of_day = TimeOfDay.end_of_day()
+        if cursor < end_of_day:
+            closed.append(TimeInterval(cursor, end_of_day))
+        return ATISet(closed)
+
+    # -- formatting ----------------------------------------------------------
+
+    def __str__(self) -> str:
+        return "<" + ", ".join(str(interval) for interval in self._intervals) + ">"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ATISet({self})"
+
+
+def _normalise(intervals: Sequence[TimeInterval]) -> List[TimeInterval]:
+    """Sort intervals and merge any that overlap or abut."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals, key=lambda interval: (interval.start.seconds, interval.end.seconds))
+    merged: List[TimeInterval] = [ordered[0]]
+    for interval in ordered[1:]:
+        last = merged[-1]
+        combined = last.union_if_touching(interval)
+        if combined is None:
+            merged.append(interval)
+        else:
+            merged[-1] = combined
+    return merged

@@ -1,0 +1,128 @@
+"""Checkpoint sets: the distinct open/close instants of all doors.
+
+The asynchronous method ITG/A relies on the observation that the indoor
+topology only changes at *checkpoints* — the finitely many instants at which
+some door opens or closes.  ``CheckpointSet`` stores those instants in sorted
+order and provides the two primitives used by Algorithms 3 and 4:
+``Find_Previous_Checkpoint`` and ``Find_Next_Checkpoint``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.temporal.interval import TimeInterval
+from repro.temporal.timeofday import TimeLike, TimeOfDay, as_time_of_day
+
+
+class CheckpointSet:
+    """An ordered set of distinct checkpoint instants within a day."""
+
+    __slots__ = ("_times", "_seconds")
+
+    def __init__(self, times: Iterable[TimeLike] = ()):  # noqa: D401
+        unique = sorted({as_time_of_day(t).seconds for t in times})
+        self._times: Tuple[TimeOfDay, ...] = tuple(TimeOfDay(s) for s in unique)
+        self._seconds: List[float] = list(unique)
+
+    # -- collection protocol -------------------------------------------------
+
+    @property
+    def times(self) -> Tuple[TimeOfDay, ...]:
+        """The checkpoints in increasing order."""
+        return self._times
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[TimeOfDay]:
+        return iter(self._times)
+
+    def __contains__(self, instant: TimeLike) -> bool:
+        t = as_time_of_day(instant).seconds
+        index = bisect.bisect_left(self._seconds, t)
+        return index < len(self._seconds) and self._seconds[index] == t
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CheckpointSet):
+            return NotImplemented
+        return self._seconds == other._seconds
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._seconds))
+
+    # -- the paper's primitives ----------------------------------------------
+
+    def find_previous(self, instant: TimeLike) -> Optional[TimeOfDay]:
+        """``Find_Previous_Checkpoint``: latest checkpoint at or before ``instant``.
+
+        Returns ``None`` when ``instant`` precedes every checkpoint — in that
+        case the topology in force is the one of the start of the day
+        (conceptually checkpoint 0:00).
+        """
+        t = as_time_of_day(instant).seconds
+        index = bisect.bisect_right(self._seconds, t) - 1
+        if index < 0:
+            return None
+        return self._times[index]
+
+    def find_next(self, instant: TimeLike) -> Optional[TimeOfDay]:
+        """``Find_Next_Checkpoint``: earliest checkpoint strictly after ``instant``.
+
+        Returns ``None`` when no checkpoint follows ``instant`` — the topology
+        then stays constant until the end of the day.
+        """
+        t = as_time_of_day(instant).seconds
+        index = bisect.bisect_right(self._seconds, t)
+        if index >= len(self._times):
+            return None
+        return self._times[index]
+
+    def interval_containing(self, instant: TimeLike) -> TimeInterval:
+        """Return the maximal interval around ``instant`` with constant topology.
+
+        The interval runs from the previous checkpoint (or midnight when
+        ``instant`` precedes every checkpoint) to the next checkpoint.  After
+        the last checkpoint the topology never changes again, so the interval
+        is extended one full day past ``instant`` — arrival times may exceed
+        24:00 because walking times never wrap around midnight, and they must
+        still fall inside a well-defined constant-topology interval.
+        """
+        from repro.constants import SECONDS_PER_DAY
+
+        t = as_time_of_day(instant)
+        previous = self.find_previous(t)
+        nxt = self.find_next(t)
+        start = previous if previous is not None else TimeOfDay.midnight()
+        if nxt is not None:
+            end = nxt
+        else:
+            end = TimeOfDay(max(float(SECONDS_PER_DAY), t.seconds) + SECONDS_PER_DAY)
+        return TimeInterval(start, end)
+
+    # -- manipulation ----------------------------------------------------------
+
+    def merged_with(self, other: "CheckpointSet") -> "CheckpointSet":
+        """Return the union of two checkpoint sets."""
+        return CheckpointSet(list(self._times) + list(other._times))
+
+    def restricted_to(self, size: int) -> "CheckpointSet":
+        """Return an evenly thinned checkpoint set of at most ``size`` instants.
+
+        Used by the synthetic-schedule generator when the experiment calls for
+        a specific ``|T|`` (4, 8, 12 or 16 in the paper).
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if size >= len(self._times) or size == 0:
+            return CheckpointSet(self._times if size else ())
+        step = len(self._times) / size
+        picked = [self._times[int(i * step)] for i in range(size)]
+        return CheckpointSet(picked)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(t) for t in self._times) + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CheckpointSet({self})"

@@ -1,0 +1,78 @@
+"""Half-open time intervals ``[start, end)``.
+
+An Active Time Interval (ATI) in the paper is exactly such an interval: the
+door opens at ``start`` and closes at ``end``, so an arrival exactly at the
+close time finds the door closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import InvalidTimeError
+from repro.temporal.timeofday import TimeLike, TimeOfDay, as_time_of_day
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A half-open interval of times of day, ``[start, end)``."""
+
+    start: TimeOfDay
+    end: TimeOfDay
+
+    def __init__(self, start: TimeLike, end: TimeLike):
+        start_t = as_time_of_day(start)
+        end_t = as_time_of_day(end)
+        if end_t <= start_t:
+            raise InvalidTimeError(
+                f"interval end must be strictly after start, got [{start_t}, {end_t})"
+            )
+        object.__setattr__(self, "start", start_t)
+        object.__setattr__(self, "end", end_t)
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end.seconds - self.start.seconds
+
+    def contains(self, instant: TimeLike) -> bool:
+        """Return ``True`` when ``instant`` lies in ``[start, end)``."""
+        t = as_time_of_day(instant)
+        return self.start <= t < self.end
+
+    __contains__ = contains
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """Return ``True`` when the two intervals share a positive-length span."""
+        return self.start < other.end and other.start < self.end
+
+    def touches_or_overlaps(self, other: "TimeInterval") -> bool:
+        """Like :meth:`overlaps` but also ``True`` for intervals that merely abut."""
+        return self.start <= other.end and other.start <= self.end
+
+    def intersection(self, other: "TimeInterval") -> Optional["TimeInterval"]:
+        """Return the overlapping sub-interval, or ``None`` when disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if end <= start:
+            return None
+        return TimeInterval(start, end)
+
+    def union_if_touching(self, other: "TimeInterval") -> Optional["TimeInterval"]:
+        """Merge two intervals that overlap or abut; ``None`` when they are apart."""
+        if not self.touches_or_overlaps(other):
+            return None
+        return TimeInterval(min(self.start, other.start), max(self.end, other.end))
+
+    def shifted(self, delta_seconds: float) -> "TimeInterval":
+        """Return the interval translated by ``delta_seconds``."""
+        return TimeInterval(self.start + delta_seconds, self.end + delta_seconds)
+
+    def __str__(self) -> str:
+        return f"[{self.start}, {self.end})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeInterval({self})"

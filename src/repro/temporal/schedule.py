@@ -1,0 +1,135 @@
+"""Door schedules: the association of every door with its ATIs.
+
+``DoorSchedule`` is the temporal half of the IT-Graph's door table.  It is a
+mapping from door identifiers to :class:`~repro.temporal.atis.ATISet` values
+and provides the aggregate views the algorithms need:
+
+* the checkpoint set ``T`` (all distinct open/close instants),
+* the set of doors open (or closed) at a given time, which is what
+  ``Graph_Update`` (Algorithm 3) uses to build a reduced topology snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.exceptions import UnknownEntityError
+from repro.temporal.atis import ATISet
+from repro.temporal.checkpoints import CheckpointSet
+from repro.temporal.timeofday import TimeLike, as_time_of_day
+
+
+class DoorSchedule:
+    """Per-door Active Time Intervals for a whole venue.
+
+    Doors that are not present in the schedule are treated as *always open*
+    (no temporal variation), matching the paper's setting where only a subset
+    of doors carries ATIs.
+    """
+
+    __slots__ = ("_atis", "_default")
+
+    def __init__(
+        self,
+        atis_by_door: Optional[Mapping[str, ATISet]] = None,
+        default: Optional[ATISet] = None,
+    ):
+        self._atis: Dict[str, ATISet] = dict(atis_by_door or {})
+        self._default: ATISet = default if default is not None else ATISet.always_open()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs: Mapping[str, Iterable[Tuple[TimeLike, TimeLike]]]) -> "DoorSchedule":
+        """Build a schedule from ``{door_id: [(open, close), ...]}`` literals.
+
+        This mirrors the shape of Table I in the paper.
+        """
+        return cls({door_id: ATISet.from_pairs(intervals) for door_id, intervals in pairs.items()})
+
+    def with_door(self, door_id: str, atis: ATISet) -> "DoorSchedule":
+        """Return a copy of the schedule with ``door_id``'s ATIs (re)assigned."""
+        updated = dict(self._atis)
+        updated[door_id] = atis
+        return DoorSchedule(updated, self._default)
+
+    def set_atis(self, door_id: str, atis: ATISet) -> None:
+        """Assign ``atis`` to ``door_id`` in place."""
+        self._atis[door_id] = atis
+
+    # -- mapping protocol ------------------------------------------------------
+
+    @property
+    def default_atis(self) -> ATISet:
+        """The ATI set used for doors without an explicit entry."""
+        return self._default
+
+    def atis_for(self, door_id: str) -> ATISet:
+        """Return the ATIs of ``door_id`` (the default for unscheduled doors)."""
+        return self._atis.get(door_id, self._default)
+
+    def __getitem__(self, door_id: str) -> ATISet:
+        return self.atis_for(door_id)
+
+    def __contains__(self, door_id: str) -> bool:
+        return door_id in self._atis
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._atis)
+
+    def __len__(self) -> int:
+        return len(self._atis)
+
+    def scheduled_doors(self) -> Set[str]:
+        """Identifiers of the doors that carry explicit temporal variation."""
+        return set(self._atis)
+
+    def items(self) -> Iterator[Tuple[str, ATISet]]:
+        """Iterate over ``(door_id, ATISet)`` pairs with explicit entries."""
+        return iter(self._atis.items())
+
+    # -- temporal queries -------------------------------------------------------
+
+    def is_open(self, door_id: str, instant: TimeLike) -> bool:
+        """Return ``True`` when ``door_id`` is open at ``instant``."""
+        return self.atis_for(door_id).contains(instant)
+
+    def doors_open_at(self, instant: TimeLike, universe: Optional[Iterable[str]] = None) -> Set[str]:
+        """Return the doors from ``universe`` open at ``instant``.
+
+        When ``universe`` is omitted only explicitly scheduled doors are
+        considered (unscheduled doors are implicitly always open).
+        """
+        doors = self._atis.keys() if universe is None else universe
+        t = as_time_of_day(instant)
+        return {door_id for door_id in doors if self.is_open(door_id, t)}
+
+    def doors_closed_at(self, instant: TimeLike, universe: Optional[Iterable[str]] = None) -> Set[str]:
+        """``Get_Closed_Door``: doors from ``universe`` closed at ``instant``.
+
+        This is the primitive Algorithm 3 uses to derive the reduced topology
+        in force after a checkpoint.
+        """
+        doors = self._atis.keys() if universe is None else universe
+        t = as_time_of_day(instant)
+        return {door_id for door_id in doors if not self.is_open(door_id, t)}
+
+    def checkpoints(self) -> CheckpointSet:
+        """Return the checkpoint set ``T``: every distinct open/close instant."""
+        times = []
+        for atis in self._atis.values():
+            times.extend(atis.boundary_times())
+        return CheckpointSet(times)
+
+    def validate_doors(self, known_doors: Iterable[str]) -> None:
+        """Raise :class:`UnknownEntityError` when the schedule references a door
+        that does not exist in ``known_doors``."""
+        known = set(known_doors)
+        unknown = [door_id for door_id in self._atis if door_id not in known]
+        if unknown:
+            raise UnknownEntityError(
+                f"schedule references unknown doors: {sorted(unknown)!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DoorSchedule({len(self._atis)} doors with temporal variation)"

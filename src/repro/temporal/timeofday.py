@@ -1,0 +1,184 @@
+"""Times of day expressed as seconds since midnight.
+
+The paper expresses door schedules and query times as wall-clock times within
+one day (``8:00``, ``23:30``, ...).  ``TimeOfDay`` wraps a float number of
+seconds since midnight, provides parsing/formatting of ``H:MM[:SS]`` strings,
+and supports the arithmetic the query engine needs (adding a travel time to a
+query time).  The value ``24:00`` (= 86400 s) is allowed as an *exclusive*
+interval end so that Table I's ``[0:00, 24:00)`` all-day interval is
+representable.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Union
+
+from repro.constants import SECONDS_PER_DAY
+from repro.exceptions import InvalidTimeError
+
+TimeLike = Union["TimeOfDay", float, int, str]
+
+
+@functools.total_ordering
+class TimeOfDay:
+    """An instant within a day, stored as seconds since midnight.
+
+    Instances are immutable, hashable and totally ordered.  Arithmetic with
+    plain numbers (seconds) is supported: ``TimeOfDay("8:00") + 90`` is
+    ``8:01:30``.  Additions are *not* wrapped around midnight by default
+    because the paper's routing semantics never cross midnight (a path whose
+    arrival time exceeds 24:00 simply fails every ATI check); callers that
+    need wrap-around can use :meth:`wrapped`.
+    """
+
+    __slots__ = ("_seconds",)
+
+    def __init__(self, value: TimeLike):
+        if isinstance(value, TimeOfDay):
+            seconds = value._seconds
+        elif isinstance(value, str):
+            seconds = _parse_clock_string(value)
+        elif isinstance(value, (int, float)):
+            seconds = float(value)
+        else:
+            raise InvalidTimeError(f"cannot interpret {value!r} as a time of day")
+        if not math.isfinite(seconds):
+            raise InvalidTimeError(f"time of day must be finite, got {seconds}")
+        if seconds < 0:
+            raise InvalidTimeError(f"time of day must be non-negative, got {seconds}")
+        self._seconds = seconds
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def seconds(self) -> float:
+        """Seconds since midnight (may exceed 86400 for late arrival times)."""
+        return self._seconds
+
+    @property
+    def hour(self) -> int:
+        """Whole hours component."""
+        return int(self._seconds // 3600)
+
+    @property
+    def minute(self) -> int:
+        """Whole minutes component within the hour."""
+        return int((self._seconds % 3600) // 60)
+
+    @property
+    def second(self) -> float:
+        """Seconds component within the minute."""
+        return self._seconds % 60
+
+    @property
+    def within_day(self) -> bool:
+        """``True`` when the instant lies in ``[0, 24:00]``."""
+        return 0 <= self._seconds <= SECONDS_PER_DAY
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_hours(cls, hours: float) -> "TimeOfDay":
+        """Build a time of day from a decimal number of hours (e.g. ``8.5``)."""
+        return cls(hours * 3600.0)
+
+    @classmethod
+    def midnight(cls) -> "TimeOfDay":
+        """00:00."""
+        return cls(0.0)
+
+    @classmethod
+    def end_of_day(cls) -> "TimeOfDay":
+        """24:00 — usable only as an exclusive interval end."""
+        return cls(float(SECONDS_PER_DAY))
+
+    # -- arithmetic --------------------------------------------------------
+
+    def add_seconds(self, delta: float) -> "TimeOfDay":
+        """Return this instant shifted ``delta`` seconds into the future."""
+        return TimeOfDay(self._seconds + delta)
+
+    def wrapped(self) -> "TimeOfDay":
+        """Return this instant folded back into ``[0, 24:00)``."""
+        return TimeOfDay(self._seconds % SECONDS_PER_DAY)
+
+    def __add__(self, delta: float) -> "TimeOfDay":
+        if not isinstance(delta, (int, float)):
+            return NotImplemented
+        return self.add_seconds(float(delta))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["TimeOfDay", float, int]) -> Union["TimeOfDay", float]:
+        if isinstance(other, TimeOfDay):
+            return self._seconds - other._seconds
+        if isinstance(other, (int, float)):
+            return TimeOfDay(self._seconds - float(other))
+        return NotImplemented
+
+    # -- comparisons -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TimeOfDay):
+            return self._seconds == other._seconds
+        if isinstance(other, (int, float)):
+            return self._seconds == float(other)
+        return NotImplemented
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, TimeOfDay):
+            return self._seconds < other._seconds
+        if isinstance(other, (int, float)):
+            return self._seconds < float(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._seconds)
+
+    # -- formatting --------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeOfDay('{self}')"
+
+    def __str__(self) -> str:
+        total = int(round(self._seconds))
+        hours, remainder = divmod(total, 3600)
+        minutes, seconds = divmod(remainder, 60)
+        if seconds:
+            return f"{hours}:{minutes:02d}:{seconds:02d}"
+        return f"{hours}:{minutes:02d}"
+
+    def __float__(self) -> float:
+        return self._seconds
+
+
+def _parse_clock_string(text: str) -> float:
+    """Parse ``"H:MM"``, ``"H:MM:SS"`` or a bare number of hours into seconds."""
+    cleaned = text.strip()
+    if not cleaned:
+        raise InvalidTimeError("empty time-of-day string")
+    parts = cleaned.split(":")
+    if len(parts) > 3:
+        raise InvalidTimeError(f"malformed time of day: {text!r}")
+    try:
+        numbers = [float(part) for part in parts]
+    except ValueError as exc:
+        raise InvalidTimeError(f"malformed time of day: {text!r}") from exc
+    if len(parts) == 1:
+        # Bare number means hours ("8" -> 8:00).
+        return numbers[0] * 3600.0
+    hours = numbers[0]
+    minutes = numbers[1]
+    seconds = numbers[2] if len(numbers) == 3 else 0.0
+    if minutes < 0 or minutes >= 60 or seconds < 0 or seconds >= 60:
+        raise InvalidTimeError(f"malformed time of day: {text!r}")
+    return hours * 3600.0 + minutes * 60.0 + seconds
+
+
+def as_time_of_day(value: TimeLike) -> TimeOfDay:
+    """Coerce strings, numbers or :class:`TimeOfDay` instances to ``TimeOfDay``."""
+    if isinstance(value, TimeOfDay):
+        return value
+    return TimeOfDay(value)

@@ -1,0 +1,93 @@
+"""Shared fixtures: the running-example IT-Graph, small hand-made venues and a
+miniature synthetic mall.
+
+Fixtures are module-scoped where construction is cheap and session-scoped for
+the synthetic venue, which is the only expensive one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ITSPQEngine
+from repro.core.itgraph import build_itgraph
+from repro.datasets.example_floorplan import (
+    build_example_itgraph,
+    build_example_schedule,
+    build_example_space,
+    example_query_points,
+)
+from repro.datasets.simple_venues import build_corridor_venue, build_two_room_venue
+from repro.synthetic.floorplan import MallFloorConfig
+from repro.synthetic.multifloor import MultiFloorConfig, generate_mall_venue
+from repro.synthetic.schedules import ScheduleConfig, generate_schedule
+
+
+@pytest.fixture(scope="session")
+def example_space():
+    """The reconstructed Figure 1 venue."""
+    return build_example_space()
+
+
+@pytest.fixture(scope="session")
+def example_schedule():
+    """The Table I door schedule."""
+    return build_example_schedule()
+
+
+@pytest.fixture(scope="session")
+def example_itgraph():
+    """The IT-Graph of the running example."""
+    return build_example_itgraph()
+
+
+@pytest.fixture(scope="session")
+def example_points():
+    """The query points p1–p4 of the running example."""
+    return example_query_points()
+
+
+@pytest.fixture()
+def example_engine(example_itgraph):
+    """A fresh engine over the running example (per-test, so counters reset)."""
+    return ITSPQEngine(example_itgraph)
+
+
+@pytest.fixture()
+def two_room():
+    """The minimal two-room venue with an always-open door."""
+    return build_two_room_venue()
+
+
+@pytest.fixture()
+def corridor():
+    """The corridor venue with four rooms and a shortcut door."""
+    return build_corridor_venue()
+
+
+@pytest.fixture(scope="session")
+def tiny_mall_venue():
+    """A miniature synthetic mall (single floor) used by integration tests."""
+    config = MultiFloorConfig(
+        floors=2,
+        staircases_per_floor_pair=2,
+        floor_config=MallFloorConfig(
+            side=300.0,
+            corridors=2,
+            corridor_cells=3,
+            shop_depth=25.0,
+            shops_per_row=6,
+            double_door_fraction=0.4,
+            private_shop_fraction=0.1,
+        ),
+    )
+    return generate_mall_venue(config, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_mall_itgraph(tiny_mall_venue):
+    """IT-Graph of the miniature mall with an 8-checkpoint schedule."""
+    schedule, _ = generate_schedule(
+        tiny_mall_venue.space, ScheduleConfig(checkpoint_count=8, seed=3)
+    )
+    return build_itgraph(tiny_mall_venue.space, schedule, validate=False)

@@ -1,0 +1,103 @@
+"""Tests for the figure-regeneration experiments (run at tiny scale)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ExperimentScale,
+    build_environment,
+    default_grid,
+    experiment_ablation_checks,
+    experiment_fig4,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_fig7,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_grid():
+    return default_grid(ExperimentScale.TINY)
+
+
+class TestParameterGrid:
+    def test_paper_grid_matches_table_ii(self):
+        grid = default_grid(ExperimentScale.PAPER)
+        assert tuple(grid.checkpoint_counts) == (4, 8, 12, 16)
+        assert tuple(grid.s2t_distances) == (1100, 1300, 1500, 1700, 1900)
+        assert grid.default_checkpoints == 8
+        assert grid.default_s2t == 1500
+        assert grid.default_time == "12:00"
+        assert len(grid.query_times) == 12  # 0:00, 2:00, ..., 22:00
+        assert grid.query_pairs == 5
+        assert grid.repetitions == 10
+        assert grid.venue_config.floors == 5
+
+    def test_smaller_scales_shrink_the_setting(self):
+        small = default_grid(ExperimentScale.SMALL)
+        tiny = default_grid(ExperimentScale.TINY)
+        assert small.venue_config.floors < 5
+        assert tiny.venue_config.floors == 1
+        assert max(tiny.s2t_distances) < max(small.s2t_distances)
+
+
+class TestEnvironment:
+    def test_build_environment_produces_answerable_queries(self, tiny_grid):
+        environment = build_environment(ExperimentScale.TINY, grid=tiny_grid)
+        assert environment.queries
+        assert environment.itgraph.door_count() > 0
+        results = [environment.engine.run(query) for query in environment.queries]
+        assert len(results) == len(environment.queries)
+
+    def test_venue_is_cached_across_settings(self, tiny_grid):
+        first = build_environment(ExperimentScale.TINY, checkpoint_count=4, grid=tiny_grid)
+        second = build_environment(ExperimentScale.TINY, checkpoint_count=8, grid=tiny_grid)
+        assert first.venue is second.venue
+        assert first.itgraph is not second.itgraph
+
+
+class TestExperiments:
+    def test_fig4_rows_cover_the_grid(self, tiny_grid):
+        result = experiment_fig4(ExperimentScale.TINY, grid=tiny_grid)
+        checkpoints = {row["checkpoints"] for row in result.rows}
+        assert checkpoints == set(tiny_grid.checkpoint_counts)
+        # Two methods x two query times per checkpoint count.
+        assert len(result.rows) == len(tiny_grid.checkpoint_counts) * 4
+        assert all(row["mean_time_us"] > 0 for row in result.rows)
+
+    def test_fig5_rows_cover_distances(self, tiny_grid):
+        result = experiment_fig5(ExperimentScale.TINY, grid=tiny_grid)
+        assert {row["s2t"] for row in result.rows} == set(tiny_grid.s2t_distances)
+        assert {row["method"] for row in result.rows} == {"ITG/S", "ITG/A"}
+
+    def test_fig6_rows_cover_times(self, tiny_grid):
+        result = experiment_fig6(ExperimentScale.TINY, grid=tiny_grid)
+        assert {row["query_time"] for row in result.rows} == set(tiny_grid.query_times)
+
+    def test_fig7_reports_memory(self, tiny_grid):
+        result = experiment_fig7(ExperimentScale.TINY, grid=tiny_grid)
+        assert all(row["mean_memory_kb"] > 0 for row in result.rows)
+
+    def test_ablation_reports_check_cost_split(self, tiny_grid):
+        result = experiment_ablation_checks(ExperimentScale.TINY, grid=tiny_grid)
+        by_method = {row["method"]: row for row in result.rows}
+        assert by_method["ITG/S"]["ati_probes"] > 0
+        assert by_method["ITG/S"]["snapshot_refreshes"] == 0
+        assert by_method["ITG/A"]["snapshot_refreshes"] >= 1
+        assert by_method["static"]["ati_probes"] == 0
+
+    def test_registry_contains_every_figure(self):
+        assert {"fig4", "fig5", "fig6", "fig7"} <= set(EXPERIMENTS)
+
+
+class TestCli:
+    def test_main_runs_one_experiment(self, capsys, tmp_path):
+        from repro.bench.__main__ import main
+
+        output = tmp_path / "out.txt"
+        exit_code = main(["ablation-checks", "--scale", "tiny", "--output", str(output)])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "ITG/S" in captured and "ITG/A" in captured
+        assert output.exists()
+        assert "ITG/A" in output.read_text()

@@ -1,0 +1,93 @@
+"""Tests for the measurement harness and result containers."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, run_query_set
+from repro.bench.reporting import format_experiment, format_table, summarise_speedup
+from repro.core.engine import CheckMethod, ITSPQEngine
+from repro.core.query import ITSPQuery
+
+
+@pytest.fixture()
+def example_queries(example_points):
+    return [
+        ITSPQuery(example_points["p1"], example_points["p2"], "12:00"),
+        ITSPQuery(example_points["p3"], example_points["p4"], "9:00"),
+    ]
+
+
+class TestRunQuerySet:
+    def test_aggregates_basic_measurements(self, example_engine, example_queries):
+        measurement = run_query_set(example_engine, example_queries, CheckMethod.SYNCHRONOUS, repetitions=3)
+        assert measurement.method == "ITG/S"
+        assert measurement.queries == 2
+        assert measurement.repetitions == 3
+        assert measurement.mean_time_us > 0
+        assert measurement.p50_time_us <= measurement.max_time_us
+        assert measurement.found_fraction == 1.0
+        assert measurement.mean_ati_probes > 0
+        assert measurement.mean_memory_kb == 0.0  # memory not requested
+
+    def test_memory_measurement(self, example_engine, example_queries):
+        measurement = run_query_set(
+            example_engine,
+            example_queries,
+            CheckMethod.ASYNCHRONOUS,
+            repetitions=1,
+            measure_memory=True,
+        )
+        assert measurement.method == "ITG/A"
+        assert measurement.mean_memory_kb > 0
+        assert measurement.mean_snapshot_refreshes >= 1
+
+    def test_empty_query_set_rejected(self, example_engine):
+        with pytest.raises(ValueError):
+            run_query_set(example_engine, [], CheckMethod.SYNCHRONOUS)
+
+    def test_as_row_allows_relabelling(self, example_engine, example_queries):
+        measurement = run_query_set(example_engine, example_queries, "synchronous", repetitions=1)
+        row = measurement.as_row(checkpoints=8, method="ITG/S(t=12)")
+        assert row["method"] == "ITG/S(t=12)"
+        assert row["checkpoints"] == 8
+        assert row["mean_time_us"] > 0
+
+
+class TestExperimentResult:
+    def test_series_extraction(self):
+        result = ExperimentResult(name="demo", description="demo experiment")
+        result.add_row({"method": "ITG/S", "x": 1, "mean_time_us": 10.0})
+        result.add_row({"method": "ITG/A", "x": 1, "mean_time_us": 8.0})
+        result.add_row({"method": "ITG/S", "x": 2, "mean_time_us": 12.0})
+        series = result.series("ITG/S", "x", "mean_time_us")
+        assert series == [{"x": 1, "mean_time_us": 10.0}, {"x": 2, "mean_time_us": 12.0}]
+        assert result.methods() == ["ITG/S", "ITG/A"]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no data)"
+
+    def test_format_experiment_includes_parameters(self):
+        result = ExperimentResult(name="demo", description="demo", parameters={"s2t": 400})
+        result.add_row({"method": "ITG/S", "mean_time_us": 1.0})
+        text = format_experiment(result)
+        assert "demo" in text and "s2t=400" in text and "ITG/S" in text
+
+    def test_summarise_speedup(self):
+        result = ExperimentResult(name="demo", description="demo")
+        result.add_row({"method": "ITG/S", "mean_time_us": 100.0})
+        result.add_row({"method": "ITG/A", "mean_time_us": 50.0})
+        summary = summarise_speedup(result, "ITG/S", "ITG/A")
+        assert "2.00x" in summary
+
+    def test_summarise_speedup_missing_method(self):
+        result = ExperimentResult(name="demo", description="demo")
+        assert "no comparable rows" in summarise_speedup(result, "ITG/S", "ITG/A")

@@ -1,0 +1,58 @@
+"""Tests for the memory measurement utilities."""
+
+from repro.bench.memory import bytes_to_kb, deep_sizeof, measure_peak_memory
+
+
+def test_measure_peak_memory_returns_result_and_positive_peak():
+    def allocate():
+        return [list(range(1000)) for _ in range(50)]
+
+    result, peak = measure_peak_memory(allocate)
+    assert len(result) == 50
+    assert peak > 10_000  # at least tens of kilobytes were allocated
+
+
+def test_measure_peak_memory_scales_with_allocation():
+    def small():
+        return [0] * 1_000
+
+    def large():
+        return [0] * 200_000
+
+    _, small_peak = measure_peak_memory(small)
+    _, large_peak = measure_peak_memory(large)
+    assert large_peak > small_peak
+
+
+def test_measure_peak_memory_supports_nesting():
+    def outer():
+        _, inner_peak = measure_peak_memory(lambda: [0] * 10_000)
+        assert inner_peak > 0
+        return inner_peak
+
+    result, outer_peak = measure_peak_memory(outer)
+    assert result > 0
+    assert outer_peak >= 0
+
+
+def test_deep_sizeof_counts_nested_structures():
+    flat = [0] * 100
+    nested = {"a": [list(range(100)) for _ in range(10)], "b": "x" * 1000}
+    assert deep_sizeof(nested) > deep_sizeof(flat)
+
+
+def test_deep_sizeof_handles_shared_references():
+    shared = list(range(1000))
+    container = [shared, shared, shared]
+    # The shared list is only counted once, so the container costs little more
+    # than the list alone.
+    assert deep_sizeof(container) < 2 * deep_sizeof(shared)
+
+
+def test_deep_sizeof_handles_objects_with_slots_and_dict(example_itgraph):
+    size = deep_sizeof(example_itgraph)
+    assert size > 10_000  # the IT-Graph is a non-trivial structure
+
+
+def test_bytes_to_kb():
+    assert bytes_to_kb(2048) == 2.0

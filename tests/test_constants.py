@@ -1,0 +1,45 @@
+"""Tests for the shared constants and the travel-time helper."""
+
+import math
+
+import pytest
+
+from repro.constants import (
+    SECONDS_PER_DAY,
+    WALKING_SPEED_KMH,
+    WALKING_SPEED_MPS,
+    travel_time_seconds,
+)
+
+
+def test_walking_speed_matches_paper():
+    # The paper fixes the walking speed to 5 km/h.
+    assert WALKING_SPEED_KMH == 5.0
+    assert math.isclose(WALKING_SPEED_MPS, 5000.0 / 3600.0)
+
+
+def test_seconds_per_day():
+    assert SECONDS_PER_DAY == 86400
+
+
+def test_travel_time_basic():
+    # 1 km at 5 km/h takes 12 minutes.
+    assert math.isclose(travel_time_seconds(1000.0), 720.0)
+
+
+def test_travel_time_zero_distance():
+    assert travel_time_seconds(0.0) == 0.0
+
+
+def test_travel_time_custom_speed():
+    assert math.isclose(travel_time_seconds(10.0, speed_mps=2.0), 5.0)
+
+
+def test_travel_time_rejects_negative_distance():
+    with pytest.raises(ValueError):
+        travel_time_seconds(-1.0)
+
+
+def test_travel_time_rejects_non_positive_speed():
+    with pytest.raises(ValueError):
+        travel_time_seconds(1.0, speed_mps=0.0)

@@ -1,0 +1,71 @@
+"""Tests for the temporal-unaware baselines and what they get wrong."""
+
+import pytest
+
+from repro.core.baselines import query_time_snapshot_path, static_shortest_path
+from repro.core.engine import ITSPQEngine
+from repro.datasets.simple_venues import build_two_room_venue, build_corridor_venue
+
+
+class TestStaticBaseline:
+    def test_static_path_ignores_schedules(self, example_itgraph, example_points):
+        # At 23:30 the ITSPQ answer is "no such routes", but the static
+        # baseline happily returns the d18 route ...
+        result = static_shortest_path(
+            example_itgraph, example_points["p3"], example_points["p4"], "23:30"
+        )
+        assert result.found
+        assert result.path.door_sequence == ["d18"]
+        # ... which violates rule 1 when re-validated.
+        violations = result.path.validate(example_itgraph)
+        assert any(v.rule == "rule-1" for v in violations)
+
+    def test_static_path_still_respects_private_partitions(self, example_itgraph, example_points):
+        result = static_shortest_path(
+            example_itgraph, example_points["p3"], example_points["p4"], "12:00"
+        )
+        assert "v15" not in result.path.partition_sequence
+
+    def test_static_equals_temporal_when_everything_is_open(self):
+        itgraph, points = build_two_room_venue()
+        engine = ITSPQEngine(itgraph)
+        static = static_shortest_path(itgraph, points["a"], points["b"], "12:00", engine)
+        temporal = engine.query(points["a"], points["b"], "12:00")
+        assert static.length == pytest.approx(temporal.length)
+
+
+class TestQueryTimeSnapshotBaseline:
+    def test_accepts_door_that_closes_before_arrival(self):
+        # The shortcut closes at 12:01; leaving at 12:00 the user cannot make
+        # the 10 m in time... but the query-time snapshot does not know that.
+        itgraph, points = build_corridor_venue({"s12": [("8:00", "12:00:03")]})
+        engine = ITSPQEngine(itgraph)
+        snapshot_result = query_time_snapshot_path(
+            itgraph, points["room1"], points["room2"], "12:00", engine
+        )
+        correct_result = engine.query(points["room1"], points["room2"], "12:00")
+        assert snapshot_result.path.door_sequence == ["s12"]
+        assert correct_result.path.door_sequence == ["c1", "c2"]
+        # Re-validation exposes the baseline's mistake.
+        assert not snapshot_result.path.is_valid(itgraph)
+        assert correct_result.path.is_valid(itgraph)
+
+    def test_misses_door_that_opens_before_arrival(self):
+        # The shortcut opens at 12:01:32; a user leaving at 12:01:30 needs
+        # ~3.6 s to reach it, so it is open on arrival — but the query-time
+        # snapshot (which only looks at 12:01:30) rejects it.
+        itgraph, points = build_corridor_venue({"s12": [("12:01:32", "20:00")]})
+        engine = ITSPQEngine(itgraph)
+        snapshot_result = query_time_snapshot_path(
+            itgraph, points["room1"], points["room2"], "12:01:30", engine
+        )
+        correct_result = engine.query(points["room1"], points["room2"], "12:01:30")
+        assert snapshot_result.path.door_sequence == ["c1", "c2"]
+        assert correct_result.path.door_sequence == ["s12"]
+        assert correct_result.length < snapshot_result.length
+
+    def test_baselines_create_engine_when_not_supplied(self, example_itgraph, example_points):
+        result = query_time_snapshot_path(
+            example_itgraph, example_points["p1"], example_points["p2"], "12:00"
+        )
+        assert result.found

@@ -1,0 +1,186 @@
+"""Engine tests on the tiny hand-made venues where answers are hand-checkable."""
+
+import math
+
+import pytest
+
+from repro.constants import WALKING_SPEED_MPS
+from repro.core.engine import CheckMethod, ITSPQEngine
+from repro.core.query import ITSPQuery
+from repro.datasets.simple_venues import build_corridor_venue, build_two_room_venue
+from repro.exceptions import NoPathExistsError, QueryError
+from repro.geometry.point import IndoorPoint
+
+
+class TestTwoRooms:
+    def test_shortest_path_through_single_door(self, two_room):
+        itgraph, points = two_room
+        engine = ITSPQEngine(itgraph)
+        result = engine.query(points["a"], points["b"], "12:00")
+        assert result.found
+        assert result.path.door_sequence == ["d1"]
+        assert result.length == pytest.approx(16.0)
+
+    def test_same_partition_direct_path(self, two_room):
+        itgraph, points = two_room
+        engine = ITSPQEngine(itgraph)
+        result = engine.query(points["a"], IndoorPoint(8, 5, 0), "12:00")
+        assert result.found
+        assert result.path.door_count == 0
+        assert result.length == pytest.approx(6.0)
+
+    def test_same_point_query(self, two_room):
+        itgraph, points = two_room
+        engine = ITSPQEngine(itgraph)
+        result = engine.query(points["a"], points["a"], "12:00")
+        assert result.found
+        assert result.length == pytest.approx(0.0)
+
+    def test_arrival_time_on_path(self, two_room):
+        itgraph, points = two_room
+        engine = ITSPQEngine(itgraph)
+        result = engine.query(points["a"], points["b"], "8:00")
+        hop = result.path.hops[0]
+        assert hop.distance_from_source == pytest.approx(8.0)
+        expected_arrival = 8 * 3600 + 8.0 / WALKING_SPEED_MPS
+        assert hop.arrival_time.seconds == pytest.approx(expected_arrival)
+
+    def test_door_closed_all_day_means_no_route(self):
+        itgraph, points = build_two_room_venue({"d1": []})
+        engine = ITSPQEngine(itgraph)
+        result = engine.query(points["a"], points["b"], "12:00")
+        assert not result.found
+        assert result.path is None
+        assert result.length == math.inf
+        with pytest.raises(NoPathExistsError):
+            result.require_path()
+
+    def test_door_open_window_controls_reachability(self):
+        itgraph, points = build_two_room_venue({"d1": [("8:00", "16:00")]})
+        engine = ITSPQEngine(itgraph)
+        assert engine.query(points["a"], points["b"], "12:00").found
+        assert not engine.query(points["a"], points["b"], "7:00").found
+        assert not engine.query(points["a"], points["b"], "16:30").found
+
+    def test_endpoint_outside_space_raises(self, two_room):
+        itgraph, points = two_room
+        engine = ITSPQEngine(itgraph)
+        with pytest.raises(QueryError):
+            engine.query(points["a"], IndoorPoint(500, 500, 0), "12:00")
+
+    def test_all_methods_agree(self, two_room):
+        itgraph, points = two_room
+        engine = ITSPQEngine(itgraph)
+        results = [
+            engine.query(points["a"], points["b"], "12:00", method=method)
+            for method in (CheckMethod.SYNCHRONOUS, CheckMethod.ASYNCHRONOUS, CheckMethod.STATIC)
+        ]
+        lengths = {round(result.length, 9) for result in results}
+        assert len(lengths) == 1
+
+
+class TestCorridorVenue:
+    def test_route_across_the_venue(self, corridor):
+        itgraph, points = corridor
+        engine = ITSPQEngine(itgraph)
+        result = engine.query(points["room1"], points["room4"], "12:00")
+        assert result.found
+        # The cheapest route cuts through the room1/room2 shortcut before
+        # joining the corridor: 5 m to s12, sqrt(41) m across room2 to c2,
+        # 20 m along the corridor, 4 m up into room4.
+        assert result.path.door_sequence == ["s12", "c2", "c4"]
+        assert result.length == pytest.approx(5 + math.sqrt(41) + 20 + 4)
+        assert result.path.is_valid(itgraph)
+        # The pure corridor alternative (c1, c4) would have been 38 m.
+        assert result.length < 38.0
+
+    def test_shortcut_door_is_preferred_when_open(self, corridor):
+        itgraph, points = corridor
+        engine = ITSPQEngine(itgraph)
+        result = engine.query(points["room1"], points["room2"], "12:00")
+        assert result.path.door_sequence == ["s12"]
+        assert result.length == pytest.approx(10.0)
+
+    def test_closed_shortcut_forces_corridor_detour(self):
+        itgraph, points = build_corridor_venue({"s12": [("20:00", "22:00")]})
+        engine = ITSPQEngine(itgraph)
+        result = engine.query(points["room1"], points["room2"], "12:00")
+        assert result.path.door_sequence == ["c1", "c2"]
+        assert result.length == pytest.approx(4 + 10 + 4)
+        # In the evening the shortcut reopens and wins again.
+        evening = engine.query(points["room1"], points["room2"], "20:30")
+        assert evening.path.door_sequence == ["s12"]
+
+    def test_private_room_is_never_crossed(self):
+        itgraph, points = build_corridor_venue(private_rooms=("room2",))
+        engine = ITSPQEngine(itgraph)
+        # room1 -> room3 could cut through room2 (s12 + c2/c3 corridor), but
+        # room2 is private, so the corridor route is the only valid one.
+        result = engine.query(points["room1"], points["room3"], "12:00")
+        assert "s12" not in result.path.door_sequence
+        assert result.path.door_sequence == ["c1", "c3"]
+
+    def test_private_room_allowed_as_endpoint(self):
+        itgraph, points = build_corridor_venue(private_rooms=("room2",))
+        engine = ITSPQEngine(itgraph)
+        result = engine.query(points["room1"], points["room2"], "12:00")
+        assert result.found
+        assert result.path.door_sequence == ["s12"]
+        reverse = engine.query(points["room2"], points["room1"], "12:00")
+        assert reverse.found
+
+    def test_statistics_are_populated(self, corridor):
+        itgraph, points = corridor
+        engine = ITSPQEngine(itgraph)
+        result = engine.query(points["room1"], points["room4"], "12:00")
+        stats = result.statistics
+        assert stats.heap_pops > 0
+        assert stats.relaxations > 0
+        assert stats.runtime_seconds > 0
+        assert stats.peak_heap_size > 0
+
+    def test_run_batch(self, corridor):
+        itgraph, points = corridor
+        engine = ITSPQEngine(itgraph)
+        queries = [
+            ITSPQuery(points["room1"], points["room3"], "12:00"),
+            ITSPQuery(points["room2"], points["room4"], "12:00"),
+        ]
+        results = engine.run_batch(queries, method="asynchronous")
+        assert len(results) == 2
+        assert all(result.found for result in results)
+
+
+class TestPartitionOnceMode:
+    """The literal Algorithm 1 (partition-visited pruning) vs. the exact expansion."""
+
+    def test_literal_algorithm_matches_exact_when_no_reentry_helps(self, corridor):
+        itgraph, points = corridor
+        exact = ITSPQEngine(itgraph, partition_once=False)
+        literal = ITSPQEngine(itgraph, partition_once=True)
+        for source, target in [("room2", "room3"), ("room3", "room4"), ("room4", "corridor")]:
+            exact_result = exact.query(points[source], points[target], "12:00")
+            literal_result = literal.query(points[source], points[target], "12:00")
+            assert exact_result.found == literal_result.found
+            assert exact_result.length == pytest.approx(literal_result.length)
+
+    def test_literal_algorithm_never_beats_exact_and_stays_valid(self, corridor):
+        # The partition-visited pruning can miss a cheaper re-entry into an
+        # already-expanded partition (documented in DESIGN.md); the returned
+        # path is then longer but still valid.
+        itgraph, points = corridor
+        exact = ITSPQEngine(itgraph, partition_once=False)
+        literal = ITSPQEngine(itgraph, partition_once=True)
+        exact_result = exact.query(points["room1"], points["room4"], "12:00")
+        literal_result = literal.query(points["room1"], points["room4"], "12:00")
+        assert literal_result.found
+        assert literal_result.length >= exact_result.length - 1e-9
+        assert literal_result.path.is_valid(itgraph)
+
+    def test_literal_algorithm_does_not_do_more_work(self, corridor):
+        itgraph, points = corridor
+        exact = ITSPQEngine(itgraph, partition_once=False)
+        literal = ITSPQEngine(itgraph, partition_once=True)
+        exact_result = exact.query(points["room1"], points["room4"], "12:00")
+        literal_result = literal.query(points["room1"], points["room4"], "12:00")
+        assert literal_result.statistics.relaxations <= exact_result.statistics.relaxations

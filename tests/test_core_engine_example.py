@@ -1,0 +1,144 @@
+"""Engine tests on the paper's running example — Example 1 and related facts."""
+
+import pytest
+
+from repro.core.engine import CheckMethod, ITSPQEngine
+
+
+class TestExample1:
+    """Example 1 of the paper, reproduced on the reconstructed venue."""
+
+    def test_morning_query_avoids_private_partition(self, example_engine, example_points):
+        result = example_engine.query(example_points["p3"], example_points["p4"], "9:00")
+        assert result.found
+        # The geometrically shorter route (p3, d15, d16, p4) crosses the
+        # private partition v15 and must be rejected; the answer is the
+        # route through d18.
+        assert result.path.door_sequence == ["d18"]
+        assert "v15" not in result.path.partition_sequence
+        assert result.path.is_valid(example_engine.itgraph)
+
+    def test_rejected_route_is_indeed_shorter(self, example_itgraph, example_points):
+        # Confirm the premise of Example 1: the private route is shorter.
+        p3, p4 = example_points["p3"], example_points["p4"]
+        via_private = (
+            example_itgraph.point_to_door(p3, "d15", "v14")
+            + example_itgraph.intra_distance("v15", "d15", "d16")
+            + example_itgraph.point_to_door(p4, "d16", "v13")
+        )
+        via_d18 = example_itgraph.point_to_door(p3, "d18", "v14") + example_itgraph.point_to_door(
+            p4, "d18", "v13"
+        )
+        assert via_private < via_d18
+
+    def test_late_night_query_has_no_route(self, example_engine, example_points):
+        result = example_engine.query(example_points["p3"], example_points["p4"], "23:30")
+        assert not result.found
+        assert result.path is None
+
+    def test_both_methods_agree_on_example_1(self, example_engine, example_points):
+        for query_time in ("9:00", "23:30"):
+            syn = example_engine.query(
+                example_points["p3"], example_points["p4"], query_time, CheckMethod.SYNCHRONOUS
+            )
+            asyn = example_engine.query(
+                example_points["p3"], example_points["p4"], query_time, CheckMethod.ASYNCHRONOUS
+            )
+            assert syn.found == asyn.found
+            if syn.found:
+                assert syn.path.door_sequence == asyn.path.door_sequence
+                assert syn.length == pytest.approx(asyn.length)
+
+
+class TestPrivateEndpoints:
+    def test_query_from_private_office(self, example_engine, example_points):
+        # p1 lies inside the private partition v1; leaving through d1 is allowed.
+        result = example_engine.query(example_points["p1"], example_points["p2"], "12:00")
+        assert result.found
+        assert result.path.door_sequence[0] == "d1"
+        assert result.path.is_valid(example_engine.itgraph)
+
+    def test_query_into_private_storage(self, example_engine, example_itgraph, example_points):
+        # A target inside the private partition v15 is reachable (rule 2
+        # exempts the partitions containing the endpoints).
+        from repro.geometry.point import IndoorPoint
+
+        target_in_v15 = IndoorPoint(38.0, 3.0, 0)
+        assert example_itgraph.covering_partition(target_in_v15).partition_id == "v15"
+        result = example_engine.query(example_points["p3"], target_in_v15, "12:00")
+        assert result.found
+        assert result.path.door_sequence[-1] in {"d15", "d16"}
+
+    def test_private_office_unreachable_before_its_door_opens(
+        self, example_engine, example_points
+    ):
+        # d1 (the only door of v1) opens at 5:00.
+        result = example_engine.query(example_points["p2"], example_points["p1"], "3:00")
+        assert not result.found
+        later = example_engine.query(example_points["p2"], example_points["p1"], "10:00")
+        assert later.found
+
+
+class TestTemporalVariationAcrossTheDay:
+    def test_reachability_varies_with_query_time(self, example_engine, example_points):
+        reachable = {
+            query_time: example_engine.query(
+                example_points["p1"], example_points["p2"], f"{query_time}:00"
+            ).found
+            for query_time in range(0, 24, 2)
+        }
+        # Nothing reachable in the small hours, everything fine mid-day.
+        assert not reachable[0] and not reachable[2]
+        assert reachable[12] and reachable[14]
+
+    def test_one_way_door_d3_is_never_used_backwards(self, example_engine, example_points):
+        # Any path entering v3 must do so through d1, d2, d5 or d6 — never d3.
+        result = example_engine.query(example_points["p2"], example_points["p1"], "12:00")
+        assert result.found
+        doors = result.path.door_sequence
+        partitions = result.path.partition_sequence
+        if "d3" in doors:
+            index = doors.index("d3")
+            assert partitions[index] == "v3"  # crossed while leaving v3, not entering
+
+    def test_paths_returned_by_all_methods_are_valid(self, example_engine, example_points):
+        for method in (CheckMethod.SYNCHRONOUS, CheckMethod.ASYNCHRONOUS):
+            for source, target in [("p1", "p2"), ("p3", "p4"), ("p2", "p4"), ("p1", "p3")]:
+                result = example_engine.query(
+                    example_points[source], example_points[target], "13:00", method
+                )
+                if result.found:
+                    assert result.path.validate(example_engine.itgraph) == []
+
+
+class TestResultMetadata:
+    def test_method_labels(self, example_engine, example_points):
+        syn = example_engine.query(example_points["p3"], example_points["p4"], "9:00")
+        asyn = example_engine.query(
+            example_points["p3"], example_points["p4"], "9:00", CheckMethod.ASYNCHRONOUS
+        )
+        assert syn.method_label == "ITG/S"
+        assert asyn.method_label == "ITG/A"
+
+    def test_summary_strings(self, example_engine, example_points):
+        found = example_engine.query(example_points["p3"], example_points["p4"], "9:00")
+        missing = example_engine.query(example_points["p3"], example_points["p4"], "23:30")
+        assert "d18" in found.summary()
+        assert "no such routes" in missing.summary()
+
+    def test_itg_a_counters_present(self, example_engine, example_points):
+        result = example_engine.query(
+            example_points["p1"], example_points["p2"], "12:00", CheckMethod.ASYNCHRONOUS
+        )
+        assert result.statistics.snapshot_refreshes >= 1
+        assert result.statistics.membership_checks > 0
+        assert result.statistics.ati_probes == 0 or result.statistics.ati_probes < (
+            result.statistics.membership_checks
+        )
+
+    def test_itg_s_counters_present(self, example_engine, example_points):
+        result = example_engine.query(
+            example_points["p1"], example_points["p2"], "12:00", CheckMethod.SYNCHRONOUS
+        )
+        assert result.statistics.ati_probes > 0
+        assert result.statistics.snapshot_refreshes == 0

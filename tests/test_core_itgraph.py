@@ -1,0 +1,118 @@
+"""Tests for the IT-Graph structure and its construction."""
+
+import pytest
+
+from repro.core.itgraph import build_itgraph
+from repro.datasets.example_floorplan import TABLE_I_ATIS
+from repro.datasets.simple_venues import build_two_room_venue
+from repro.exceptions import UnknownEntityError
+from repro.geometry.point import IndoorPoint
+from repro.indoor.entities import DoorType
+from repro.temporal.atis import ATISet
+
+
+class TestDoorTable:
+    def test_every_door_has_a_record(self, example_itgraph):
+        assert set(example_itgraph.door_table) == {f"d{i}" for i in range(1, 22)}
+
+    def test_atis_match_table_i(self, example_itgraph):
+        for door_id, intervals in TABLE_I_ATIS.items():
+            assert example_itgraph.door_record(door_id).atis == ATISet.from_pairs(intervals)
+
+    def test_door_types(self, example_itgraph):
+        assert example_itgraph.door_record("d7").door_type is DoorType.PRIVATE
+        assert example_itgraph.door_record("d3").door_type is DoorType.PUBLIC
+
+    def test_temporal_variation_flag(self, example_itgraph):
+        assert example_itgraph.door_record("d2").has_temporal_variation
+        # d14 and d17 are open around the clock.
+        assert not example_itgraph.door_record("d14").has_temporal_variation
+        assert not example_itgraph.door_record("d17").has_temporal_variation
+
+    def test_unknown_door_raises(self, example_itgraph):
+        with pytest.raises(UnknownEntityError):
+            example_itgraph.door_record("d99")
+
+
+class TestPartitionTable:
+    def test_every_partition_has_a_record(self, example_itgraph):
+        assert set(example_itgraph.partition_table) == {f"v{i}" for i in range(1, 18)}
+
+    def test_partition_types(self, example_itgraph):
+        assert example_itgraph.partition_record("v1").is_private
+        assert example_itgraph.partition_record("v15").is_private
+        assert not example_itgraph.partition_record("v3").is_private
+
+    def test_single_door_partition_has_trivial_matrix(self, example_itgraph):
+        assert example_itgraph.partition_record("v1").distance_matrix.is_trivial
+
+    def test_multi_door_partition_matrix(self, example_itgraph):
+        matrix = example_itgraph.partition_record("v3").distance_matrix
+        assert set(matrix.doors) == {"d1", "d2", "d3", "d5", "d6"}
+        assert matrix.distance("d1", "d2") > 0
+
+    def test_unknown_partition_raises(self, example_itgraph):
+        with pytest.raises(UnknownEntityError):
+            example_itgraph.partition_record("v99")
+
+
+class TestTemporalQueries:
+    def test_door_open_at(self, example_itgraph):
+        assert example_itgraph.door_open_at("d2", "12:00")
+        assert not example_itgraph.door_open_at("d2", "7:00")
+
+    def test_doors_closed_at(self, example_itgraph):
+        closed_at_3 = example_itgraph.doors_closed_at("3:00")
+        assert closed_at_3 == frozenset(
+            {f"d{i}" for i in range(1, 22)} - {"d9", "d14", "d17", "d18"}
+        )
+
+    def test_doors_open_at_complements_closed(self, example_itgraph):
+        for instant in ["3:00", "9:00", "17:30", "23:45"]:
+            open_doors = example_itgraph.doors_open_at(instant)
+            closed_doors = example_itgraph.doors_closed_at(instant)
+            assert open_doors | closed_doors == frozenset(example_itgraph.door_ids())
+            assert not open_doors & closed_doors
+
+    def test_checkpoints_come_from_schedule(self, example_itgraph, example_schedule):
+        assert example_itgraph.checkpoints == example_schedule.checkpoints()
+
+
+class TestGeometryQueries:
+    def test_intra_distance(self, example_itgraph):
+        assert example_itgraph.intra_distance("v15", "d15", "d16") > 0
+        assert example_itgraph.intra_distance("v15", "d15", "d15") == 0.0
+
+    def test_covering_partition(self, example_itgraph, example_points):
+        assert example_itgraph.covering_partition(example_points["p3"]).partition_id == "v14"
+        assert example_itgraph.covering_partition(example_points["p4"]).partition_id == "v13"
+        assert example_itgraph.covering_partition(example_points["p1"]).partition_id == "v1"
+
+    def test_point_to_door(self, example_itgraph, example_points):
+        distance = example_itgraph.point_to_door(example_points["p3"], "d15", "v14")
+        assert distance == pytest.approx(1.0)
+
+    def test_door_position(self, example_itgraph):
+        assert example_itgraph.door_position("d18").floor == 0
+
+
+class TestConstruction:
+    def test_without_schedule_every_door_is_always_open(self):
+        itgraph, _ = build_two_room_venue()
+        record = itgraph.door_record("d1")
+        assert not record.has_temporal_variation
+        assert len(itgraph.checkpoints) == 0
+
+    def test_door_type_overrides(self):
+        itgraph, _ = build_two_room_venue()
+        space = itgraph.space
+        overridden = build_itgraph(space, door_types={"d1": DoorType.PRIVATE})
+        assert overridden.door_record("d1").door_type is DoorType.PRIVATE
+
+    def test_statistics(self, example_itgraph):
+        stats = example_itgraph.statistics()
+        assert stats["partitions"] == 17
+        assert stats["doors"] == 21
+        assert stats["doors_with_temporal_variation"] == 19
+        assert stats["private_partitions"] == 2
+        assert stats["checkpoints"] == 12

@@ -1,0 +1,184 @@
+"""Tests for IndoorPath: views, arrival times, and rule re-validation."""
+
+import pytest
+
+from repro.constants import WALKING_SPEED_MPS
+from repro.core.engine import ITSPQEngine
+from repro.core.path import IndoorPath, PathHop
+from repro.geometry.point import IndoorPoint
+from repro.temporal.timeofday import TimeOfDay
+
+
+@pytest.fixture()
+def example_path(example_engine, example_points):
+    return example_engine.query(example_points["p1"], example_points["p2"], "12:00").path
+
+
+class TestViews:
+    def test_door_and_partition_sequences_are_consistent(self, example_path):
+        assert len(example_path.partition_sequence) == len(example_path.door_sequence) + 1
+        assert example_path.door_count == len(example_path)
+
+    def test_node_sequence_matches_paper_notation(self, example_path):
+        nodes = example_path.as_node_sequence()
+        assert nodes[0] == "p_s" and nodes[-1] == "p_t"
+        assert nodes[1:-1] == example_path.door_sequence
+
+    def test_describe_mentions_length_and_doors(self, example_path):
+        text = example_path.describe()
+        assert "length=" in text and "doors=" in text
+
+    def test_arrival_time_at_target(self, example_path):
+        expected = 12 * 3600 + example_path.total_length / WALKING_SPEED_MPS
+        assert example_path.arrival_time_at_target.seconds == pytest.approx(expected)
+        assert example_path.travel_time_seconds() == pytest.approx(
+            example_path.total_length / WALKING_SPEED_MPS
+        )
+
+    def test_equality(self, example_engine, example_points):
+        first = example_engine.query(example_points["p1"], example_points["p2"], "12:00").path
+        second = example_engine.query(example_points["p1"], example_points["p2"], "12:00").path
+        assert first == second
+        other = example_engine.query(example_points["p1"], example_points["p2"], "13:00").path
+        assert first != other
+
+
+class TestValidation:
+    def test_engine_paths_validate_cleanly(self, example_engine, example_points):
+        result = example_engine.query(example_points["p3"], example_points["p4"], "9:00")
+        assert result.path.validate(example_engine.itgraph) == []
+
+    def test_rule1_violation_detected(self, example_itgraph, example_points):
+        # Hand-build the Example 1 path but issued at 23:30, when d18 is closed.
+        query_time = TimeOfDay("23:30")
+        distance = 5.22
+        path = IndoorPath(
+            source=example_points["p3"],
+            target=example_points["p4"],
+            query_time=query_time,
+            hops=[
+                PathHop(
+                    door_id="d18",
+                    from_partition="v14",
+                    to_partition="v13",
+                    distance_from_source=distance,
+                    arrival_time=query_time.add_seconds(distance / WALKING_SPEED_MPS),
+                )
+            ],
+            total_length=12.65,
+        )
+        violations = path.validate(example_itgraph)
+        assert any(v.rule == "rule-1" and v.subject == "d18" for v in violations)
+
+    def test_rule2_violation_detected(self, example_itgraph, example_points):
+        # The (p3, d15, d16, p4) route crosses the private partition v15.
+        query_time = TimeOfDay("12:00")
+        hops = []
+        cumulative = 0.0
+        for door_id, from_partition, to_partition, leg in [
+            ("d15", "v14", "v15", 1.0),
+            ("d16", "v15", "v13", 5.39),
+        ]:
+            cumulative += leg
+            hops.append(
+                PathHop(
+                    door_id=door_id,
+                    from_partition=from_partition,
+                    to_partition=to_partition,
+                    distance_from_source=cumulative,
+                    arrival_time=query_time.add_seconds(cumulative / WALKING_SPEED_MPS),
+                )
+            )
+        path = IndoorPath(example_points["p3"], example_points["p4"], query_time, hops, 11.5)
+        violations = path.validate(example_itgraph)
+        assert any(v.rule == "rule-2" and v.subject == "v15" for v in violations)
+        assert not path.is_valid(example_itgraph)
+
+    def test_inconsistent_arrival_time_detected(self, example_itgraph, example_points):
+        query_time = TimeOfDay("12:00")
+        path = IndoorPath(
+            example_points["p3"],
+            example_points["p4"],
+            query_time,
+            hops=[
+                PathHop(
+                    door_id="d18",
+                    from_partition="v14",
+                    to_partition="v13",
+                    distance_from_source=5.22,
+                    arrival_time=query_time.add_seconds(9999),  # wrong
+                )
+            ],
+            total_length=12.65,
+        )
+        violations = path.validate(example_itgraph)
+        assert any(v.rule == "consistency" for v in violations)
+
+    def test_wrong_direction_detected(self, example_itgraph, example_points):
+        # d3 is one-way from v3 into v16; claiming the reverse is inconsistent.
+        query_time = TimeOfDay("12:00")
+        path = IndoorPath(
+            IndoorPoint(15, 9, 0),   # inside v16
+            IndoorPoint(8, 9, 0),    # inside v3
+            query_time,
+            hops=[
+                PathHop(
+                    door_id="d3",
+                    from_partition="v16",
+                    to_partition="v3",
+                    distance_from_source=4.0,
+                    arrival_time=query_time.add_seconds(4.0 / WALKING_SPEED_MPS),
+                )
+            ],
+            total_length=8.0,
+        )
+        violations = path.validate(example_itgraph)
+        assert any("does not allow crossing" in v.detail for v in violations)
+
+    def test_unknown_door_detected(self, example_itgraph, example_points):
+        query_time = TimeOfDay("12:00")
+        path = IndoorPath(
+            example_points["p3"],
+            example_points["p4"],
+            query_time,
+            hops=[
+                PathHop(
+                    door_id="d99",
+                    from_partition="v14",
+                    to_partition="v13",
+                    distance_from_source=5.0,
+                    arrival_time=query_time.add_seconds(5.0 / WALKING_SPEED_MPS),
+                )
+            ],
+            total_length=12.0,
+        )
+        with pytest.raises(Exception):
+            path.validate(example_itgraph)
+
+    def test_empty_path_requires_shared_partition(self, example_itgraph, example_points):
+        query_time = TimeOfDay("12:00")
+        path = IndoorPath(
+            example_points["p3"], example_points["p4"], query_time, hops=[], total_length=5.0
+        )
+        violations = path.validate(example_itgraph)
+        assert any("door-free path" in v.detail for v in violations)
+
+    def test_violation_string_rendering(self, example_itgraph, example_points):
+        query_time = TimeOfDay("23:30")
+        path = IndoorPath(
+            example_points["p3"],
+            example_points["p4"],
+            query_time,
+            hops=[
+                PathHop(
+                    door_id="d18",
+                    from_partition="v14",
+                    to_partition="v13",
+                    distance_from_source=5.22,
+                    arrival_time=query_time.add_seconds(5.22 / WALKING_SPEED_MPS),
+                )
+            ],
+            total_length=12.65,
+        )
+        violations = path.validate(example_itgraph)
+        assert violations and "rule-1" in str(violations[0])

@@ -1,0 +1,60 @@
+"""Tests for the query/result value objects."""
+
+import pytest
+
+from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
+from repro.exceptions import NoPathExistsError, QueryError
+from repro.geometry.point import IndoorPoint
+from repro.temporal.timeofday import TimeOfDay
+
+
+class TestITSPQuery:
+    def test_construction_coerces_time(self):
+        query = ITSPQuery(IndoorPoint(0, 0, 0), IndoorPoint(1, 1, 0), "9:30")
+        assert query.query_time == TimeOfDay("9:30")
+
+    def test_rejects_non_indoor_points(self):
+        with pytest.raises(QueryError):
+            ITSPQuery((0, 0), IndoorPoint(1, 1, 0), "9:00")  # type: ignore[arg-type]
+
+    def test_at_time_returns_new_query(self):
+        query = ITSPQuery(IndoorPoint(0, 0, 0), IndoorPoint(1, 1, 0), "9:00", label="x")
+        later = query.at_time("15:00")
+        assert later.query_time == TimeOfDay("15:00")
+        assert later.source == query.source and later.label == "x"
+        assert query.query_time == TimeOfDay("9:00")  # original unchanged
+
+    def test_str(self):
+        query = ITSPQuery(IndoorPoint(0, 0, 0), IndoorPoint(1, 1, 0), "9:00")
+        assert "9:00" in str(query)
+
+
+class TestSearchStatistics:
+    def test_merge_strategy_counters(self):
+        stats = SearchStatistics()
+        stats.merge_strategy_counters({"ati_probes": 5, "snapshot_refreshes": 2, "membership_checks": 7})
+        stats.merge_strategy_counters({"ati_probes": 1})
+        assert stats.ati_probes == 6
+        assert stats.snapshot_refreshes == 2
+        assert stats.membership_checks == 7
+
+    def test_as_dict_includes_extra(self):
+        stats = SearchStatistics(doors_settled=3, extra={"custom": 1.5})
+        flattened = stats.as_dict()
+        assert flattened["doors_settled"] == 3
+        assert flattened["custom"] == 1.5
+
+
+class TestQueryResult:
+    def test_require_path_on_missing_route(self):
+        query = ITSPQuery(IndoorPoint(0, 0, 0), IndoorPoint(1, 1, 0), "9:00")
+        result = QueryResult(query=query, method_label="ITG/S", found=False)
+        assert not result.is_reachable
+        with pytest.raises(NoPathExistsError):
+            result.require_path()
+        assert "no such routes" in result.summary()
+
+    def test_require_path_on_found_route(self, example_engine, example_points):
+        result = example_engine.query(example_points["p3"], example_points["p4"], "9:00")
+        assert result.require_path() is result.path
+        assert result.is_reachable

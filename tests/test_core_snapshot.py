@@ -1,0 +1,77 @@
+"""Tests for Graph_Update (Algorithm 3) and the snapshot cache."""
+
+import pytest
+
+from repro.core.snapshot import GraphUpdater
+
+
+@pytest.fixture()
+def updater(example_itgraph):
+    return GraphUpdater(example_itgraph)
+
+
+def test_snapshot_removes_exactly_the_closed_doors(updater, example_itgraph):
+    snapshot = updater.graph_update("3:00")
+    closed = example_itgraph.doors_closed_at("3:00")
+    assert snapshot.closed_doors == closed
+    for door_id in closed:
+        assert not snapshot.topology.has_door(door_id)
+        assert not snapshot.door_available(door_id)
+    for door_id in set(example_itgraph.door_ids()) - set(closed):
+        assert snapshot.topology.has_door(door_id)
+        assert snapshot.door_available(door_id)
+
+
+def test_snapshot_interval_covers_requested_time(updater):
+    snapshot = updater.graph_update("12:34")
+    assert snapshot.covers("12:34")
+    assert snapshot.checkpoint == snapshot.interval.start
+
+
+def test_snapshot_partitions_are_preserved(updater, example_itgraph):
+    snapshot = updater.graph_update("2:00")
+    assert snapshot.topology.partition_ids == example_itgraph.topology.partition_ids
+
+
+def test_snapshots_are_cached_per_interval(updater):
+    first = updater.graph_update("12:10")
+    second = updater.graph_update("12:50")  # same checkpoint interval
+    assert first is second
+    assert updater.updates_performed == 1
+    third = updater.graph_update("23:45")  # different interval
+    assert third is not first
+    assert updater.updates_performed == 2
+
+
+def test_clear_cache(updater):
+    updater.graph_update("12:00")
+    assert updater.cached_snapshot_count == 1
+    updater.clear_cache()
+    assert updater.cached_snapshot_count == 0
+
+
+def test_all_snapshots_materialises_every_interval(updater, example_itgraph):
+    snapshots = updater.all_snapshots()
+    # One snapshot per checkpoint interval plus the pre-first-checkpoint one
+    # (when 0:00 is not itself a checkpoint).
+    checkpoints = example_itgraph.checkpoints
+    expected = len(checkpoints) + (0 if 0.0 in [t.seconds for t in checkpoints] else 1)
+    assert len(snapshots) == expected
+
+
+def test_open_door_count_varies_over_the_day(updater, example_itgraph):
+    # Mid-day nearly all doors are open; late night most are closed.
+    noon = updater.graph_update("12:00")
+    night = updater.graph_update("23:45")
+    assert noon.open_door_count > night.open_door_count
+    assert noon.open_door_count == len(example_itgraph.doors_open_at("12:00"))
+
+
+def test_snapshot_respects_the_no_change_between_checkpoints_property(updater, example_itgraph):
+    # Any two instants inside one checkpoint interval see identical topology.
+    snapshot = updater.graph_update("10:30")
+    interval = snapshot.interval
+    midpoint = (interval.start.seconds + interval.end.seconds) / 2
+    assert example_itgraph.doors_closed_at(interval.start) == example_itgraph.doors_closed_at(
+        midpoint
+    )

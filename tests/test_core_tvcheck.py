@@ -1,0 +1,159 @@
+"""Tests for the temporal-validity check strategies (Algorithms 2 and 4)."""
+
+import math
+
+import pytest
+
+from repro.constants import WALKING_SPEED_MPS
+from repro.core.snapshot import GraphUpdater
+from repro.core.tvcheck import (
+    AsynchronousCheck,
+    QueryTimeCheck,
+    StaticCheck,
+    SynchronousCheck,
+    make_strategy,
+)
+from repro.temporal.timeofday import TimeOfDay
+
+
+@pytest.fixture()
+def syn(example_itgraph):
+    return SynchronousCheck(example_itgraph)
+
+
+@pytest.fixture()
+def asyn(example_itgraph):
+    return AsynchronousCheck(example_itgraph)
+
+
+class TestArrivalTime:
+    def test_arrival_time_uses_walking_speed(self, syn):
+        t = TimeOfDay("8:00")
+        arrival = syn.arrival_time(t, 100.0)
+        assert math.isclose(arrival.seconds - t.seconds, 100.0 / WALKING_SPEED_MPS)
+
+    def test_rejects_non_positive_speed(self, example_itgraph):
+        with pytest.raises(ValueError):
+            SynchronousCheck(example_itgraph, walking_speed=0)
+
+
+class TestSynchronousCheck:
+    def test_open_door_is_passable(self, syn):
+        syn.begin_query(TimeOfDay("12:00"))
+        assert syn.is_passable("d2", 10.0, TimeOfDay("12:00"))
+
+    def test_closed_door_is_not_passable(self, syn):
+        syn.begin_query(TimeOfDay("7:00"))
+        assert not syn.is_passable("d2", 10.0, TimeOfDay("7:00"))  # d2 opens at 8:00
+
+    def test_door_closing_before_arrival(self, syn):
+        # d2 closes at 16:00; leaving at 15:59 with 600 m to walk arrives ~16:06.
+        syn.begin_query(TimeOfDay("15:59"))
+        assert not syn.is_passable("d2", 600.0, TimeOfDay("15:59"))
+        assert syn.is_passable("d2", 10.0, TimeOfDay("15:59"))
+
+    def test_door_opening_before_arrival(self, syn):
+        # d2 opens at 8:00; leaving at 7:55 with 600 m to walk arrives ~8:02.
+        syn.begin_query(TimeOfDay("7:55"))
+        assert syn.is_passable("d2", 600.0, TimeOfDay("7:55"))
+
+    def test_probe_counter(self, syn):
+        syn.begin_query(TimeOfDay("12:00"))
+        for _ in range(5):
+            syn.is_passable("d2", 10.0, TimeOfDay("12:00"))
+        assert syn.ati_probes == 5
+        assert syn.counters()["ati_probes"] == 5
+        syn.begin_query(TimeOfDay("12:00"))
+        assert syn.ati_probes == 0  # reset per query
+
+
+class TestAsynchronousCheck:
+    def test_matches_synchronous_within_interval(self, syn, asyn, example_itgraph):
+        t = TimeOfDay("12:00")
+        syn.begin_query(t)
+        asyn.begin_query(t)
+        for door_id in example_itgraph.door_ids():
+            assert syn.is_passable(door_id, 50.0, t) == asyn.is_passable(door_id, 50.0, t)
+
+    def test_membership_checks_instead_of_probes(self, asyn):
+        t = TimeOfDay("12:00")
+        asyn.begin_query(t)
+        asyn.is_passable("d2", 10.0, t)
+        assert asyn.membership_checks == 1
+        assert asyn.ati_probes == 0
+
+    def test_snapshot_advances_when_arrival_crosses_checkpoint(self, asyn, example_itgraph):
+        # Query at 15:55; a door 1 km away is reached after 16:00, i.e. in the
+        # next checkpoint interval (16:00 is a checkpoint of Table I).
+        t = TimeOfDay("15:55")
+        asyn.begin_query(t)
+        initial_interval = asyn.current_snapshot.interval
+        assert not asyn.is_passable("d2", 1000.0, t)  # d2 closes at 16:00
+        assert asyn.current_snapshot.interval != initial_interval
+        assert asyn.snapshot_refreshes >= 2
+
+    def test_agrees_with_synchronous_across_checkpoint(self, syn, asyn, example_itgraph):
+        t = TimeOfDay("15:55")
+        syn.begin_query(t)
+        asyn.begin_query(t)
+        for door_id in example_itgraph.door_ids():
+            for distance in (10.0, 500.0, 1000.0, 5000.0):
+                assert syn.is_passable(door_id, distance, t) == asyn.is_passable(
+                    door_id, distance, t
+                ), (door_id, distance)
+
+    def test_out_of_order_arrival_falls_back_to_ati_probe(self, asyn):
+        t = TimeOfDay("15:55")
+        asyn.begin_query(t)
+        # First a far door (advances the snapshot past 16:00) ...
+        asyn.is_passable("d17", 2000.0, t)
+        probes_before = asyn.ati_probes
+        # ... then a near door whose arrival is before the snapshot interval.
+        assert asyn.is_passable("d2", 10.0, t)
+        assert asyn.ati_probes == probes_before + 1
+
+    def test_shared_updater_is_reused(self, example_itgraph):
+        updater = GraphUpdater(example_itgraph)
+        first = AsynchronousCheck(example_itgraph, updater)
+        second = AsynchronousCheck(example_itgraph, updater)
+        first.begin_query(TimeOfDay("12:00"))
+        second.begin_query(TimeOfDay("12:00"))
+        assert updater.updates_performed == 1  # cache shared across strategies
+
+
+class TestBaselineChecks:
+    def test_static_check_accepts_everything(self, example_itgraph):
+        static = StaticCheck(example_itgraph)
+        static.begin_query(TimeOfDay("3:00"))
+        assert static.is_passable("d2", 1e6, TimeOfDay("3:00"))
+
+    def test_query_time_check_ignores_travel_time(self, example_itgraph):
+        check = QueryTimeCheck(example_itgraph)
+        check.begin_query(TimeOfDay("15:59"))
+        # d2 is open at the query time, so the approximation accepts it even
+        # though the arrival (after 16:00) finds it closed.
+        assert check.is_passable("d2", 600.0, TimeOfDay("15:59"))
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("synchronous", SynchronousCheck),
+            ("ITG/S", SynchronousCheck),
+            ("asynchronous", AsynchronousCheck),
+            ("ITG/A", AsynchronousCheck),
+            ("static", StaticCheck),
+            ("query-time", QueryTimeCheck),
+        ],
+    )
+    def test_known_names(self, example_itgraph, name, cls):
+        assert isinstance(make_strategy(name, example_itgraph), cls)
+
+    def test_unknown_name_rejected(self, example_itgraph):
+        with pytest.raises(ValueError):
+            make_strategy("teleport", example_itgraph)
+
+    def test_method_labels(self, syn, asyn):
+        assert syn.method_label == "ITG/S"
+        assert asyn.method_label == "ITG/A"

@@ -1,0 +1,51 @@
+"""Tests for the shared distance measures."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidGeometryError
+from repro.geometry.measures import (
+    euclidean_distance,
+    indoor_euclidean_distance,
+    manhattan_distance,
+    path_length,
+)
+from repro.geometry.point import IndoorPoint, Point2D
+
+
+def test_euclidean_between_planar_points():
+    assert euclidean_distance(Point2D(0, 0), Point2D(3, 4)) == 5.0
+
+
+def test_euclidean_between_indoor_points_same_floor():
+    assert euclidean_distance(IndoorPoint(0, 0, 1), IndoorPoint(3, 4, 1)) == 5.0
+
+
+def test_euclidean_between_indoor_points_different_floor_raises():
+    with pytest.raises(InvalidGeometryError):
+        euclidean_distance(IndoorPoint(0, 0, 0), IndoorPoint(3, 4, 1))
+
+
+def test_euclidean_mixed_types_treats_planar_as_same_floor():
+    assert euclidean_distance(IndoorPoint(0, 0, 3), Point2D(3, 4)) == 5.0
+
+
+def test_indoor_euclidean_alias():
+    assert indoor_euclidean_distance(IndoorPoint(1, 1, 0), IndoorPoint(4, 5, 0)) == 5.0
+
+
+def test_manhattan_distance():
+    assert manhattan_distance(Point2D(0, 0), Point2D(3, 4)) == 7.0
+    with pytest.raises(InvalidGeometryError):
+        manhattan_distance(IndoorPoint(0, 0, 0), IndoorPoint(1, 1, 1))
+
+
+def test_path_length_of_polyline():
+    points = [Point2D(0, 0), Point2D(3, 4), Point2D(3, 10)]
+    assert math.isclose(path_length(points), 11.0)
+
+
+def test_path_length_degenerate_cases():
+    assert path_length([]) == 0.0
+    assert path_length([Point2D(1, 1)]) == 0.0

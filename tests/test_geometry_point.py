@@ -1,0 +1,87 @@
+"""Tests for planar and floor-aware points."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidGeometryError
+from repro.geometry.point import IndoorPoint, Point2D
+
+
+class TestPoint2D:
+    def test_distance_is_euclidean(self):
+        assert Point2D(0, 0).distance_to(Point2D(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point2D(1.5, -2.0), Point2D(-3.0, 7.25)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_manhattan_distance(self):
+        assert Point2D(0, 0).manhattan_distance_to(Point2D(3, 4)) == 7.0
+
+    def test_midpoint(self):
+        assert Point2D(0, 0).midpoint(Point2D(4, 6)) == Point2D(2, 3)
+
+    def test_unpacking(self):
+        x, y = Point2D(1.0, 2.0)
+        assert (x, y) == (1.0, 2.0)
+
+    def test_addition_and_subtraction(self):
+        assert Point2D(1, 2) + Point2D(3, 4) == Point2D(4, 6)
+        assert Point2D(3, 4) - Point2D(1, 2) == Point2D(2, 2)
+
+    def test_scaling(self):
+        assert Point2D(1, -2).scaled(3) == Point2D(3, -6)
+
+    def test_translated(self):
+        assert Point2D(1, 1).translated(2, -1) == Point2D(3, 0)
+
+    def test_almost_equal(self):
+        assert Point2D(1, 1).almost_equal(Point2D(1 + 1e-12, 1 - 1e-12))
+        assert not Point2D(1, 1).almost_equal(Point2D(1.1, 1))
+
+    def test_rejects_non_finite_coordinates(self):
+        with pytest.raises(InvalidGeometryError):
+            Point2D(float("nan"), 0)
+        with pytest.raises(InvalidGeometryError):
+            Point2D(0, float("inf"))
+
+    def test_hashable_and_ordered(self):
+        points = {Point2D(0, 0), Point2D(0, 0), Point2D(1, 0)}
+        assert len(points) == 2
+        assert sorted([Point2D(1, 0), Point2D(0, 5)])[0] == Point2D(0, 5)
+
+
+class TestIndoorPoint:
+    def test_same_floor_distance(self):
+        assert IndoorPoint(0, 0, 2).distance_to(IndoorPoint(3, 4, 2)) == 5.0
+
+    def test_cross_floor_distance_is_undefined(self):
+        with pytest.raises(InvalidGeometryError):
+            IndoorPoint(0, 0, 0).distance_to(IndoorPoint(0, 0, 1))
+
+    def test_floor_must_be_integer(self):
+        with pytest.raises(InvalidGeometryError):
+            IndoorPoint(0, 0, 1.5)  # type: ignore[arg-type]
+
+    def test_point2d_projection(self):
+        assert IndoorPoint(2, 3, 4).point2d == Point2D(2, 3)
+
+    def test_same_floor_predicate(self):
+        assert IndoorPoint(0, 0, 1).same_floor(IndoorPoint(9, 9, 1))
+        assert not IndoorPoint(0, 0, 1).same_floor(IndoorPoint(0, 0, 2))
+
+    def test_on_floor_relocation(self):
+        moved = IndoorPoint(1, 2, 0).on_floor(3)
+        assert moved.floor == 3 and moved.x == 1 and moved.y == 2
+
+    def test_translated_keeps_floor(self):
+        moved = IndoorPoint(1, 2, 5).translated(1, 1)
+        assert moved == IndoorPoint(2, 3, 5)
+
+    def test_as_tuple(self):
+        assert IndoorPoint(1, 2, 3).as_tuple() == (1, 2, 3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidGeometryError):
+            IndoorPoint(math.nan, 0, 0)

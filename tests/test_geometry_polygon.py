@@ -1,0 +1,159 @@
+"""Tests for polygons, rectangles and bounding boxes."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidGeometryError
+from repro.geometry.point import Point2D
+from repro.geometry.polygon import BoundingBox, Polygon, Rectangle, convex_hull
+
+
+class TestPolygon:
+    def test_requires_three_vertices(self):
+        with pytest.raises(InvalidGeometryError):
+            Polygon([Point2D(0, 0), Point2D(1, 1)])
+
+    def test_closed_ring_is_normalised(self):
+        ring = [Point2D(0, 0), Point2D(4, 0), Point2D(4, 4), Point2D(0, 0)]
+        assert len(Polygon(ring)) == 3
+
+    def test_area_of_square(self):
+        square = Polygon([Point2D(0, 0), Point2D(4, 0), Point2D(4, 4), Point2D(0, 4)])
+        assert square.area == 16.0
+
+    def test_area_independent_of_orientation(self):
+        ccw = Polygon([Point2D(0, 0), Point2D(4, 0), Point2D(4, 4), Point2D(0, 4)])
+        cw = Polygon([Point2D(0, 0), Point2D(0, 4), Point2D(4, 4), Point2D(4, 0)])
+        assert ccw.area == cw.area == 16.0
+        assert ccw.signed_area == -cw.signed_area
+
+    def test_perimeter(self):
+        triangle = Polygon([Point2D(0, 0), Point2D(3, 0), Point2D(0, 4)])
+        assert triangle.perimeter == 12.0
+
+    def test_centroid_of_square(self):
+        square = Polygon([Point2D(0, 0), Point2D(2, 0), Point2D(2, 2), Point2D(0, 2)])
+        assert square.centroid == Point2D(1, 1)
+
+    def test_contains_interior_boundary_and_exterior(self):
+        square = Polygon([Point2D(0, 0), Point2D(4, 0), Point2D(4, 4), Point2D(0, 4)])
+        assert square.contains(Point2D(2, 2))
+        assert square.contains(Point2D(4, 2))  # on the boundary
+        assert square.contains(Point2D(0, 0))  # corner
+        assert not square.contains(Point2D(5, 2))
+        assert not square.contains(Point2D(-0.01, 2))
+
+    def test_contains_l_shape(self):
+        l_shape = Polygon(
+            [
+                Point2D(0, 0),
+                Point2D(4, 0),
+                Point2D(4, 2),
+                Point2D(2, 2),
+                Point2D(2, 4),
+                Point2D(0, 4),
+            ]
+        )
+        assert l_shape.contains(Point2D(1, 3))
+        assert l_shape.contains(Point2D(3, 1))
+        assert not l_shape.contains(Point2D(3, 3))
+
+    def test_distance_to_point(self):
+        square = Polygon([Point2D(0, 0), Point2D(4, 0), Point2D(4, 4), Point2D(0, 4)])
+        assert square.distance_to_point(Point2D(2, 2)) == 0.0
+        assert square.distance_to_point(Point2D(7, 2)) == 3.0
+
+    def test_bounding_box(self):
+        triangle = Polygon([Point2D(0, 1), Point2D(5, 3), Point2D(2, 8)])
+        box = triangle.bounding_box
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 1, 5, 8)
+
+    def test_translated(self):
+        square = Polygon([Point2D(0, 0), Point2D(1, 0), Point2D(1, 1), Point2D(0, 1)])
+        moved = square.translated(10, 20)
+        assert moved.contains(Point2D(10.5, 20.5))
+        assert not moved.contains(Point2D(0.5, 0.5))
+
+    def test_equality_and_hash(self):
+        a = Polygon([Point2D(0, 0), Point2D(1, 0), Point2D(1, 1)])
+        b = Polygon([Point2D(0, 0), Point2D(1, 0), Point2D(1, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRectangle:
+    def test_requires_positive_extent(self):
+        with pytest.raises(InvalidGeometryError):
+            Rectangle(0, 0, 0, 5)
+
+    def test_dimensions(self):
+        rect = Rectangle(1, 2, 4, 8)
+        assert rect.width == 3 and rect.height == 6
+        assert rect.area == 18.0
+
+    def test_from_origin_size(self):
+        rect = Rectangle.from_origin_size(Point2D(1, 1), 2, 3)
+        assert rect.max_corner == Point2D(3, 4)
+
+    def test_fast_containment(self):
+        rect = Rectangle(0, 0, 10, 5)
+        assert rect.contains(Point2D(10, 5))
+        assert not rect.contains(Point2D(10.01, 5))
+
+    def test_shared_wall_vertical(self):
+        left = Rectangle(0, 0, 5, 10)
+        right = Rectangle(5, 2, 9, 8)
+        wall = left.shared_wall(right)
+        assert wall is not None
+        assert wall.start.x == wall.end.x == 5
+        assert wall.length == 6.0
+
+    def test_shared_wall_horizontal(self):
+        bottom = Rectangle(0, 0, 10, 5)
+        top = Rectangle(3, 5, 8, 9)
+        wall = bottom.shared_wall(top)
+        assert wall is not None
+        assert wall.start.y == wall.end.y == 5
+        assert wall.length == 5.0
+
+    def test_no_shared_wall(self):
+        a = Rectangle(0, 0, 5, 5)
+        b = Rectangle(6, 0, 10, 5)
+        assert a.shared_wall(b) is None
+
+
+class TestBoundingBox:
+    def test_rejects_inverted_box(self):
+        with pytest.raises(InvalidGeometryError):
+            BoundingBox(5, 0, 0, 5)
+
+    def test_contains_and_center(self):
+        box = BoundingBox(0, 0, 4, 2)
+        assert box.contains(Point2D(4, 2))
+        assert box.center == Point2D(2, 1)
+        assert box.area == 8.0
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 4, 4)
+        assert a.intersects(BoundingBox(3, 3, 6, 6))
+        assert a.intersects(BoundingBox(4, 0, 6, 2))  # boundary contact
+        assert not a.intersects(BoundingBox(5, 5, 6, 6))
+
+
+class TestConvexHull:
+    def test_hull_of_square_with_interior_point(self):
+        points = [Point2D(0, 0), Point2D(4, 0), Point2D(4, 4), Point2D(0, 4), Point2D(2, 2)]
+        hull = convex_hull(points)
+        assert hull.area == 16.0
+        assert len(hull) == 4
+
+    def test_collinear_points_rejected(self):
+        with pytest.raises(InvalidGeometryError):
+            convex_hull([Point2D(0, 0), Point2D(1, 1), Point2D(2, 2)])
+
+    def test_hull_area_never_exceeds_bounding_box(self):
+        points = [Point2D(0, 0), Point2D(6, 1), Point2D(3, 7), Point2D(1, 5), Point2D(5, 5)]
+        hull = convex_hull(points)
+        box = hull.bounding_box
+        assert hull.area <= box.area + 1e-9

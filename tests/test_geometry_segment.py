@@ -1,0 +1,91 @@
+"""Tests for line segments."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point2D
+from repro.geometry.segment import LineSegment
+
+
+@pytest.fixture()
+def horizontal():
+    return LineSegment(Point2D(0, 0), Point2D(10, 0))
+
+
+def test_length(horizontal):
+    assert horizontal.length == 10.0
+
+
+def test_midpoint(horizontal):
+    assert horizontal.midpoint == Point2D(5, 0)
+
+
+def test_point_at_fraction(horizontal):
+    assert horizontal.point_at(0.25) == Point2D(2.5, 0)
+    assert horizontal.point_at(0.0) == horizontal.start
+    assert horizontal.point_at(1.0) == horizontal.end
+
+
+def test_closest_point_inside_projection(horizontal):
+    assert horizontal.closest_point_to(Point2D(4, 3)) == Point2D(4, 0)
+
+
+def test_closest_point_clamped_to_endpoints(horizontal):
+    assert horizontal.closest_point_to(Point2D(-5, 3)) == Point2D(0, 0)
+    assert horizontal.closest_point_to(Point2D(15, -2)) == Point2D(10, 0)
+
+
+def test_distance_to_point(horizontal):
+    assert horizontal.distance_to_point(Point2D(4, 3)) == 3.0
+    assert math.isclose(horizontal.distance_to_point(Point2D(13, 4)), 5.0)
+
+
+def test_contains_point(horizontal):
+    assert horizontal.contains_point(Point2D(5, 0))
+    assert not horizontal.contains_point(Point2D(5, 0.1))
+
+
+def test_crossing_segments_intersect():
+    a = LineSegment(Point2D(0, 0), Point2D(10, 10))
+    b = LineSegment(Point2D(0, 10), Point2D(10, 0))
+    assert a.intersection(b) == Point2D(5, 5)
+
+
+def test_parallel_segments_do_not_intersect():
+    a = LineSegment(Point2D(0, 0), Point2D(10, 0))
+    b = LineSegment(Point2D(0, 1), Point2D(10, 1))
+    assert a.intersection(b) is None
+
+
+def test_disjoint_segments_on_same_line():
+    a = LineSegment(Point2D(0, 0), Point2D(2, 0))
+    b = LineSegment(Point2D(5, 0), Point2D(9, 0))
+    assert a.intersection(b) is None
+
+
+def test_collinear_overlap_returns_overlap_midpoint():
+    a = LineSegment(Point2D(0, 0), Point2D(10, 0))
+    b = LineSegment(Point2D(6, 0), Point2D(14, 0))
+    assert a.intersection(b) == Point2D(8, 0)
+
+
+def test_non_crossing_segments():
+    a = LineSegment(Point2D(0, 0), Point2D(1, 1))
+    b = LineSegment(Point2D(5, 0), Point2D(5, 10))
+    assert a.intersection(b) is None
+
+
+def test_reversed(horizontal):
+    assert horizontal.reversed() == LineSegment(Point2D(10, 0), Point2D(0, 0))
+
+
+def test_angle():
+    assert math.isclose(LineSegment(Point2D(0, 0), Point2D(0, 5)).angle(), math.pi / 2)
+
+
+def test_degenerate_segment():
+    degenerate = LineSegment(Point2D(1, 1), Point2D(1, 1))
+    assert degenerate.is_degenerate
+    assert degenerate.length == 0.0
+    assert degenerate.closest_point_to(Point2D(5, 5)) == Point2D(1, 1)

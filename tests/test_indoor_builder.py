@@ -1,0 +1,104 @@
+"""Tests for the fluent indoor-space builder."""
+
+import pytest
+
+from repro.constants import DEFAULT_STAIRWAY_LENGTH_M
+from repro.exceptions import TopologyError
+from repro.geometry.point import IndoorPoint
+from repro.indoor.builder import IndoorSpaceBuilder
+from repro.indoor.entities import DoorType, OUTDOOR_PARTITION_ID, PartitionCategory, PartitionType
+
+
+def test_rectangle_partition_and_wall_door():
+    builder = IndoorSpaceBuilder("t")
+    builder.add_rectangle_partition("a", 0, 0, 10, 10)
+    builder.add_rectangle_partition("b", 10, 0, 20, 10)
+    builder.add_wall_door("d1", "a", "b", fraction=0.5)
+    space = builder.build()
+    door = space.door("d1")
+    assert door.position.x == 10 and door.position.y == 5
+    assert space.topology.partitions_of("d1") == {"a", "b"}
+
+
+def test_wall_door_requires_shared_wall():
+    builder = IndoorSpaceBuilder("t")
+    builder.add_rectangle_partition("a", 0, 0, 10, 10)
+    builder.add_rectangle_partition("b", 30, 0, 40, 10)
+    with pytest.raises(TopologyError):
+        builder.add_wall_door("d1", "a", "b")
+
+
+def test_private_partition_helper():
+    builder = IndoorSpaceBuilder("t")
+    builder.add_private_partition("office", floor=1)
+    partition = builder.space.partition("office")
+    assert partition.is_private
+    assert partition.category is PartitionCategory.OFFICE
+
+
+def test_directional_door():
+    builder = IndoorSpaceBuilder("t")
+    builder.add_rectangle_partition("a", 0, 0, 10, 10)
+    builder.add_rectangle_partition("b", 10, 0, 20, 10)
+    builder.add_door("exit", IndoorPoint(10, 5, 0), between=("a", "b"), bidirectional=False)
+    topology = builder.build().topology
+    assert topology.leaveable_doors("a") == {"exit"}
+    assert topology.enterable_doors("a") == set()
+
+
+def test_outdoor_door():
+    builder = IndoorSpaceBuilder("t")
+    builder.add_rectangle_partition("lobby", 0, 0, 10, 10)
+    builder.add_door_to_outdoors("entrance", IndoorPoint(0, 5, 0), "lobby")
+    space = builder.build()
+    assert space.has_partition(OUTDOOR_PARTITION_ID)
+    assert space.topology.partitions_of("entrance") == {OUTDOOR_PARTITION_ID, "lobby"}
+    # Adding the outdoors twice must not fail.
+    builder.add_outdoors()
+
+
+def test_staircase_registers_override_and_floors():
+    builder = IndoorSpaceBuilder("t")
+    builder.add_rectangle_partition("hall0", 0, 0, 10, 10, floor=0)
+    builder.add_rectangle_partition("hall1", 0, 0, 10, 10, floor=1)
+    builder.add_staircase(
+        "stairs",
+        0,
+        1,
+        lower_door=("s-low", IndoorPoint(5, 5, 0), "hall0"),
+        upper_door=("s-up", IndoorPoint(5, 5, 1), "hall1"),
+    )
+    space = builder.build()
+    stairs = space.partition("stairs")
+    assert stairs.is_staircase
+    assert stairs.spans_floors == (0, 1)
+    assert stairs.override_distance("s-low", "s-up") == DEFAULT_STAIRWAY_LENGTH_M
+    assert space.topology.partitions_of("s-low") == {"hall0", "stairs"}
+    assert space.topology.partitions_of("s-up") == {"hall1", "stairs"}
+
+
+def test_door_types_are_preserved():
+    builder = IndoorSpaceBuilder("t")
+    builder.add_rectangle_partition("a", 0, 0, 10, 10)
+    builder.add_rectangle_partition("b", 10, 0, 20, 10)
+    builder.add_door("d", IndoorPoint(10, 5, 0), between=("a", "b"), door_type=DoorType.PRIVATE)
+    assert builder.build().door("d").is_private
+
+
+def test_build_without_validation_allows_inconsistency():
+    builder = IndoorSpaceBuilder("t")
+    builder.add_rectangle_partition("lonely", 0, 0, 5, 5)
+    # With validation the doorless partition is rejected; without it the
+    # space is returned as-is.
+    with pytest.raises(Exception):
+        builder.build(validate=True)
+    space = builder.build(validate=False)
+    assert space.has_partition("lonely")
+
+
+def test_partition_type_parameter():
+    builder = IndoorSpaceBuilder("t")
+    builder.add_rectangle_partition(
+        "secure", 0, 0, 5, 5, partition_type=PartitionType.PRIVATE
+    )
+    assert builder.space.partition("secure").is_private

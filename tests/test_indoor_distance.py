@@ -1,0 +1,112 @@
+"""Tests for intra-partition distances and distance matrices."""
+
+import math
+
+import pytest
+
+from repro.exceptions import UnknownEntityError
+from repro.geometry.point import IndoorPoint
+from repro.geometry.polygon import Rectangle
+from repro.indoor.builder import IndoorSpaceBuilder
+from repro.indoor.distance import (
+    build_distance_matrices,
+    build_distance_matrix,
+    intra_partition_distance,
+    point_to_door_distance,
+)
+from repro.indoor.entities import Door, Partition
+
+
+@pytest.fixture()
+def three_door_space():
+    """One 20x10 hall with three doors plus a one-door side room."""
+    builder = IndoorSpaceBuilder("distance-test")
+    builder.add_rectangle_partition("hall", 0, 0, 20, 10)
+    builder.add_rectangle_partition("north", 0, 10, 20, 20)
+    builder.add_rectangle_partition("east", 20, 0, 30, 10)
+    builder.add_door("dn1", IndoorPoint(5, 10, 0), between=("hall", "north"))
+    builder.add_door("dn2", IndoorPoint(15, 10, 0), between=("hall", "north"))
+    builder.add_door("de", IndoorPoint(20, 5, 0), between=("hall", "east"))
+    return builder.build()
+
+
+def test_distance_matrix_contains_all_pairs(three_door_space):
+    matrix = build_distance_matrix(three_door_space, "hall")
+    assert set(matrix.doors) == {"dn1", "dn2", "de"}
+    assert len(matrix) == 3  # three unordered pairs
+    assert matrix.distance("dn1", "dn2") == 10.0
+    assert math.isclose(matrix.distance("dn1", "de"), math.hypot(15, 5))
+    assert matrix.distance("dn2", "de") == matrix.distance("de", "dn2")
+
+
+def test_distance_to_self_is_zero(three_door_space):
+    matrix = build_distance_matrix(three_door_space, "hall")
+    assert matrix.distance("dn1", "dn1") == 0.0
+    with pytest.raises(UnknownEntityError):
+        matrix.distance("zzz", "zzz")
+
+
+def test_single_door_partition_has_trivial_matrix(three_door_space):
+    matrix = build_distance_matrix(three_door_space, "east")
+    assert matrix.is_trivial
+    assert len(matrix) == 0
+    assert matrix.distance("de", "de") == 0.0
+
+
+def test_unknown_pair_raises(three_door_space):
+    matrix = build_distance_matrix(three_door_space, "north")
+    with pytest.raises(UnknownEntityError):
+        matrix.distance("dn1", "de")
+
+
+def test_build_all_matrices(three_door_space):
+    matrices = build_distance_matrices(three_door_space)
+    assert set(matrices) == {"hall", "north", "east"}
+    assert matrices["north"].distance("dn1", "dn2") == 10.0
+
+
+def test_pairs_iteration(three_door_space):
+    matrix = build_distance_matrix(three_door_space, "hall")
+    listed = {(a, b): d for a, b, d in matrix.pairs()}
+    assert len(listed) == 3
+    assert listed[("dn1", "dn2")] == 10.0
+
+
+def test_membership_operator(three_door_space):
+    matrix = build_distance_matrix(three_door_space, "hall")
+    assert ("dn1", "de") in matrix
+    assert ("dn1", "dn1") in matrix
+    assert ("dn1", "missing") not in matrix
+
+
+def test_override_wins_over_euclidean():
+    partition = Partition(
+        "stairs",
+        Rectangle(0, 0, 4, 4),
+        distance_overrides={frozenset(("low", "up")): 20.0},
+    )
+    low = Door("low", IndoorPoint(0, 2, 0))
+    up = Door("up", IndoorPoint(4, 2, 1))
+    assert intra_partition_distance(partition, low, up) == 20.0
+
+
+def test_cross_floor_without_override_raises():
+    partition = Partition("stairs", Rectangle(0, 0, 4, 4))
+    low = Door("low", IndoorPoint(0, 2, 0))
+    up = Door("up", IndoorPoint(4, 2, 1))
+    with pytest.raises(UnknownEntityError):
+        intra_partition_distance(partition, low, up)
+
+
+def test_point_to_door_distance(three_door_space):
+    point = IndoorPoint(5, 5, 0)
+    assert point_to_door_distance(three_door_space, point, "dn1") == 5.0
+    assert math.isclose(
+        point_to_door_distance(three_door_space, point, "de"), math.hypot(15, 0)
+    )
+
+
+def test_point_to_door_requires_same_partition(three_door_space):
+    point = IndoorPoint(5, 15, 0)  # in "north"
+    with pytest.raises(UnknownEntityError):
+        point_to_door_distance(three_door_space, point, "de")

@@ -1,0 +1,97 @@
+"""Tests for doors, partitions and floors."""
+
+import pytest
+
+from repro.exceptions import InvalidGeometryError
+from repro.geometry.point import IndoorPoint
+from repro.geometry.polygon import Rectangle
+from repro.indoor.entities import (
+    Door,
+    DoorType,
+    Floor,
+    OUTDOOR_PARTITION_ID,
+    Partition,
+    PartitionCategory,
+    PartitionType,
+)
+
+
+class TestDoor:
+    def test_basic_attributes(self):
+        door = Door("d1", IndoorPoint(1, 2, 3))
+        assert door.floor == 3
+        assert door.door_type is DoorType.PUBLIC
+        assert not door.is_private
+        assert str(door) == "d1"
+
+    def test_private_door(self):
+        door = Door("d7", IndoorPoint(0, 0, 0), DoorType.PRIVATE)
+        assert door.is_private
+        assert door.door_type.value == "PRD"
+
+    def test_requires_identifier_and_position(self):
+        with pytest.raises(InvalidGeometryError):
+            Door("", IndoorPoint(0, 0, 0))
+        with pytest.raises(InvalidGeometryError):
+            Door("d1", position=(1, 2))  # type: ignore[arg-type]
+
+
+class TestPartition:
+    def test_public_room(self):
+        room = Partition("v1", Rectangle(0, 0, 5, 5))
+        assert not room.is_private
+        assert room.partition_type.value == "PBP"
+        assert room.area == 25.0
+
+    def test_private_room(self):
+        room = Partition("v15", Rectangle(0, 0, 4, 6), partition_type=PartitionType.PRIVATE)
+        assert room.is_private
+        assert room.partition_type.value == "PRP"
+
+    def test_contains_point_checks_floor(self):
+        room = Partition("v1", Rectangle(0, 0, 5, 5), floor=2)
+        assert room.contains_point(IndoorPoint(1, 1, 2))
+        assert not room.contains_point(IndoorPoint(1, 1, 0))
+        assert not room.contains_point(IndoorPoint(9, 9, 2))
+
+    def test_abstract_partition_contains_nothing(self):
+        abstract = Partition("void")
+        assert abstract.area == 0.0
+        assert not abstract.contains_point(IndoorPoint(0, 0, 0))
+
+    def test_outdoor_detection(self):
+        outdoors = Partition(OUTDOOR_PARTITION_ID, category=PartitionCategory.OUTDOOR)
+        assert outdoors.is_outdoor
+        assert Partition("vx", category=PartitionCategory.OUTDOOR).is_outdoor
+        assert not Partition("v1", Rectangle(0, 0, 1, 1)).is_outdoor
+
+    def test_staircase_spans_floors(self):
+        stairs = Partition(
+            "s1",
+            Rectangle(0, 0, 3, 6),
+            floor=0,
+            category=PartitionCategory.STAIRCASE,
+            spans_floors=(0, 1),
+            distance_overrides={frozenset(("low", "up")): 20.0},
+        )
+        assert stairs.is_staircase
+        assert stairs.contains_point(IndoorPoint(1, 1, 0))
+        assert stairs.contains_point(IndoorPoint(1, 1, 1))
+        assert not stairs.contains_point(IndoorPoint(1, 1, 2))
+        assert stairs.override_distance("low", "up") == 20.0
+        assert stairs.override_distance("up", "low") == 20.0
+        assert stairs.override_distance("low", "other") is None
+
+    def test_spans_floors_must_be_ordered(self):
+        with pytest.raises(InvalidGeometryError):
+            Partition("s1", spans_floors=(2, 1))
+
+    def test_requires_identifier(self):
+        with pytest.raises(InvalidGeometryError):
+            Partition("")
+
+
+class TestFloor:
+    def test_display_name(self):
+        assert Floor(2).display_name == "floor 2"
+        assert Floor(0, name="Ground").display_name == "Ground"

@@ -1,0 +1,160 @@
+"""Tests for the IndoorSpace container: registration, lookup, point location,
+validation and the running example's stated topology facts."""
+
+import pytest
+
+from repro.exceptions import DuplicateEntityError, TopologyError, UnknownEntityError
+from repro.geometry.point import IndoorPoint
+from repro.geometry.polygon import Rectangle
+from repro.indoor.entities import Door, Partition, PartitionType
+from repro.indoor.space import IndoorSpace
+
+
+@pytest.fixture()
+def small_space():
+    space = IndoorSpace("small")
+    space.add_partition(Partition("a", Rectangle(0, 0, 10, 10)))
+    space.add_partition(Partition("b", Rectangle(10, 0, 20, 10)))
+    space.add_door(Door("d1", IndoorPoint(10, 5, 0)))
+    space.connect("d1", "a", "b")
+    return space
+
+
+class TestRegistration:
+    def test_duplicate_partition_rejected(self, small_space):
+        with pytest.raises(DuplicateEntityError):
+            small_space.add_partition(Partition("a", Rectangle(0, 0, 1, 1)))
+
+    def test_duplicate_door_rejected(self, small_space):
+        with pytest.raises(DuplicateEntityError):
+            small_space.add_door(Door("d1", IndoorPoint(0, 0, 0)))
+
+    def test_connect_unknown_entities_rejected(self, small_space):
+        with pytest.raises(UnknownEntityError):
+            small_space.connect("dX", "a", "b")
+        with pytest.raises(UnknownEntityError):
+            small_space.connect("d1", "a", "zzz")
+
+    def test_self_connection_rejected(self, small_space):
+        with pytest.raises(TopologyError):
+            small_space.connect("d1", "a", "a")
+
+
+class TestLookups:
+    def test_partition_and_door_access(self, small_space):
+        assert small_space.partition("a").partition_id == "a"
+        assert small_space.door("d1").door_id == "d1"
+        assert small_space.has_partition("a") and not small_space.has_partition("z")
+        assert small_space.has_door("d1") and not small_space.has_door("dz")
+        with pytest.raises(UnknownEntityError):
+            small_space.partition("zzz")
+
+    def test_collection_views(self, small_space):
+        assert small_space.partition_ids() == ["a", "b"]
+        assert small_space.door_ids() == ["d1"]
+        assert len(small_space) == 2
+        assert small_space.count_doors() == 1
+        assert small_space.floors() == [0]
+
+    def test_doors_of_partition(self, small_space):
+        assert [d.door_id for d in small_space.doors_of_partition("a")] == ["d1"]
+
+
+class TestPointLocation:
+    def test_locate_inside(self, small_space):
+        assert small_space.locate_id(IndoorPoint(3, 3, 0)) == "a"
+        assert small_space.locate_id(IndoorPoint(15, 3, 0)) == "b"
+
+    def test_locate_outside_raises(self, small_space):
+        with pytest.raises(UnknownEntityError):
+            small_space.locate(IndoorPoint(100, 100, 0))
+
+    def test_locate_wrong_floor_raises(self, small_space):
+        with pytest.raises(UnknownEntityError):
+            small_space.locate(IndoorPoint(3, 3, 5))
+
+    def test_try_locate(self, small_space):
+        assert small_space.try_locate(IndoorPoint(100, 100, 0)) is None
+        assert small_space.try_locate(IndoorPoint(1, 1, 0)).partition_id == "a"
+
+
+class TestTopologyDerivation:
+    def test_bidirectional_connection_produces_two_edges(self, small_space):
+        assert small_space.topology.edge_count() == 2
+        assert small_space.topology.enterable_doors("a") == {"d1"}
+        assert small_space.topology.leaveable_doors("a") == {"d1"}
+
+    def test_topology_rebuilt_after_edit(self, small_space):
+        before = small_space.topology.edge_count()
+        small_space.add_partition(Partition("c", Rectangle(20, 0, 30, 10)))
+        small_space.add_door(Door("d2", IndoorPoint(20, 5, 0)))
+        small_space.connect("d2", "b", "c", bidirectional=False)
+        assert small_space.topology.edge_count() == before + 1
+        assert small_space.topology.enterable_doors("c") == {"d2"}
+        assert small_space.topology.leaveable_doors("c") == set()
+
+
+class TestValidation:
+    def test_valid_space_passes(self, small_space):
+        small_space.validate()
+
+    def test_unconnected_door_fails(self, small_space):
+        small_space.add_door(Door("dangling", IndoorPoint(5, 5, 0)))
+        with pytest.raises(TopologyError):
+            small_space.validate()
+
+    def test_doorless_partition_fails(self, small_space):
+        small_space.add_partition(Partition("isolated", Rectangle(50, 50, 60, 60)))
+        with pytest.raises(TopologyError):
+            small_space.validate()
+
+    def test_floor_mismatch_fails(self):
+        space = IndoorSpace()
+        space.add_partition(Partition("a", Rectangle(0, 0, 10, 10), floor=0))
+        space.add_partition(Partition("b", Rectangle(10, 0, 20, 10), floor=0))
+        space.add_door(Door("d1", IndoorPoint(10, 5, 3)))  # wrong floor
+        space.connect("d1", "a", "b")
+        with pytest.raises(TopologyError):
+            space.validate()
+
+    def test_statistics(self, small_space):
+        stats = small_space.statistics()
+        assert stats["partitions"] == 2
+        assert stats["doors"] == 1
+        assert stats["directed_connections"] == 2
+        assert stats["private_partitions"] == 0
+        assert stats["mean_partition_degree"] == 1.0
+
+
+class TestRunningExampleFacts:
+    """The structural facts Section II-A states about the running example."""
+
+    def test_sizes(self, example_space):
+        assert len(example_space) == 17
+        assert example_space.count_doors() == 21
+
+    def test_private_partitions(self, example_space):
+        assert example_space.partition("v1").is_private
+        assert example_space.partition("v15").is_private
+        assert example_space.count_partitions(PartitionType.PRIVATE) == 2
+
+    def test_v3_door_sets(self, example_space):
+        topology = example_space.topology
+        assert topology.doors_of("v3") == {"d1", "d2", "d3", "d5", "d6"}
+        assert topology.leaveable_doors("v3") == {"d1", "d2", "d3", "d5", "d6"}
+        assert topology.enterable_doors("v3") == {"d1", "d2", "d5", "d6"}
+
+    def test_d3_directionality(self, example_space):
+        topology = example_space.topology
+        assert topology.partitions_of("d3") == {"v3", "v16"}
+        assert topology.leaveable_partitions("d3") == {"v3"}
+        assert topology.enterable_partitions("d3") == {"v16"}
+
+    def test_v1_has_single_door(self, example_space):
+        assert example_space.topology.doors_of("v1") == {"d1"}
+
+    def test_d7_is_private_door(self, example_space):
+        assert example_space.door("d7").is_private
+
+    def test_example_validates(self, example_space):
+        example_space.validate()

@@ -1,0 +1,89 @@
+"""Tests for the six door/partition topology mappings."""
+
+import pytest
+
+from repro.exceptions import UnknownEntityError
+from repro.indoor.topology import Topology
+
+
+@pytest.fixture()
+def topology():
+    """Three partitions in a row: a -d1- b -d2- c, plus a one-way door d3 a->c."""
+    topo = Topology()
+    topo.add_directed_connection("a", "b", "d1")
+    topo.add_directed_connection("b", "a", "d1")
+    topo.add_directed_connection("b", "c", "d2")
+    topo.add_directed_connection("c", "b", "d2")
+    topo.add_directed_connection("a", "c", "d3")  # one-way
+    return topo
+
+
+def test_p2d(topology):
+    assert topology.doors_of("a") == {"d1", "d3"}
+    assert topology.doors_of("b") == {"d1", "d2"}
+    assert topology.doors_of("c") == {"d2", "d3"}
+
+
+def test_d2p(topology):
+    assert topology.partitions_of("d1") == {"a", "b"}
+    assert topology.partitions_of("d3") == {"a", "c"}
+
+
+def test_enterable_and_leaveable_doors(topology):
+    assert topology.enterable_doors("a") == {"d1"}          # d3 cannot enter a
+    assert topology.leaveable_doors("a") == {"d1", "d3"}
+    assert topology.enterable_doors("c") == {"d2", "d3"}
+    assert topology.leaveable_doors("c") == {"d2"}
+
+
+def test_enterable_and_leaveable_partitions(topology):
+    assert topology.enterable_partitions("d3") == {"c"}
+    assert topology.leaveable_partitions("d3") == {"a"}
+    assert topology.enterable_partitions("d1") == {"a", "b"}
+
+
+def test_unknown_entities_raise(topology):
+    with pytest.raises(UnknownEntityError):
+        topology.doors_of("zzz")
+    with pytest.raises(UnknownEntityError):
+        topology.partitions_of("dzzz")
+
+
+def test_degree_and_counts(topology):
+    assert topology.degree("b") == 2
+    assert topology.edge_count() == 5
+    assert topology.partition_ids == {"a", "b", "c"}
+    assert topology.door_ids == {"d1", "d2", "d3"}
+
+
+def test_registration_of_isolated_entities():
+    topo = Topology()
+    topo.register_partition("solo")
+    topo.register_door("unused")
+    assert topo.doors_of("solo") == frozenset()
+    assert topo.partitions_of("unused") == frozenset()
+
+
+def test_without_doors_reduction(topology):
+    reduced = topology.without_doors({"d2"})
+    # The removed door disappears from every mapping but partitions remain.
+    assert not reduced.has_door("d2")
+    assert reduced.has_partition("c")
+    assert reduced.doors_of("b") == {"d1"}
+    assert reduced.enterable_doors("c") == {"d3"}
+    assert reduced.edge_count() == 3
+    # The original topology is untouched.
+    assert topology.has_door("d2")
+    assert topology.edge_count() == 5
+
+
+def test_copy_is_independent(topology):
+    clone = topology.copy()
+    clone.add_directed_connection("c", "d", "d4")
+    assert not topology.has_partition("d")
+    assert clone.has_partition("d")
+
+
+def test_directed_edges_view(topology):
+    assert ("a", "c", "d3") in topology.directed_edges
+    assert ("c", "a", "d3") not in topology.directed_edges

@@ -1,0 +1,117 @@
+"""End-to-end integration tests on the miniature synthetic mall.
+
+These tests exercise the full pipeline the benchmarks use — venue generation,
+schedule generation, IT-Graph construction, workload generation, query
+processing with both methods — and check the cross-cutting invariants on a
+venue none of the unit tests were written against.
+"""
+
+import math
+
+import pytest
+
+from repro.core.engine import CheckMethod, ITSPQEngine
+from repro.core.reference import selection_dijkstra_reference
+from repro.synthetic.queries import QueryWorkloadConfig, generate_query_instances
+
+
+@pytest.fixture(scope="module")
+def engine(tiny_mall_itgraph):
+    return ITSPQEngine(tiny_mall_itgraph)
+
+
+@pytest.fixture(scope="module")
+def workload(tiny_mall_itgraph):
+    return [
+        generated.query
+        for generated in generate_query_instances(
+            tiny_mall_itgraph, QueryWorkloadConfig(s2t_distance=150, pairs=6, seed=13)
+        )
+    ]
+
+
+def test_methods_agree_on_synthetic_workload(engine, workload):
+    for query in workload:
+        for query_time in ("6:00", "9:30", "12:00", "18:00", "22:30"):
+            timed = query.at_time(query_time)
+            syn = engine.run(timed, method=CheckMethod.SYNCHRONOUS)
+            asyn = engine.run(timed, method=CheckMethod.ASYNCHRONOUS)
+            assert syn.found == asyn.found, (query.label, query_time)
+            if syn.found:
+                assert math.isclose(syn.length, asyn.length, abs_tol=1e-9)
+                assert syn.path.door_sequence == asyn.path.door_sequence
+
+
+def test_paths_validate_on_synthetic_workload(engine, tiny_mall_itgraph, workload):
+    validated = 0
+    for query in workload:
+        result = engine.run(query)
+        if result.found:
+            assert result.path.validate(tiny_mall_itgraph) == []
+            validated += 1
+    assert validated > 0
+
+
+def test_engine_matches_reference_on_synthetic_workload(engine, tiny_mall_itgraph, workload):
+    for query in workload[:3]:
+        for query_time in ("9:30", "12:00", "21:00"):
+            timed = query.at_time(query_time)
+            result = engine.run(timed)
+            reference = selection_dijkstra_reference(
+                tiny_mall_itgraph, timed.source, timed.target, timed.query_time
+            )
+            assert result.found == reference.found
+            if result.found:
+                assert math.isclose(result.length, reference.length, abs_tol=1e-9)
+
+
+def test_reachability_degrades_outside_opening_hours(engine, workload):
+    found_by_time = {}
+    for query_time in ("3:00", "12:00", "23:50"):
+        found_by_time[query_time] = sum(
+            1 for query in workload if engine.run(query.at_time(query_time)).found
+        )
+    assert found_by_time["12:00"] >= found_by_time["3:00"]
+    assert found_by_time["12:00"] >= found_by_time["23:50"]
+    assert found_by_time["12:00"] > 0
+
+
+def test_cross_floor_routes_use_staircases(engine, tiny_mall_venue, tiny_mall_itgraph):
+    # Pick one shop per floor and verify the route between them crosses a staircase door.
+    shops_by_floor = {}
+    for floor, layout in tiny_mall_venue.floor_layouts.items():
+        for shop in layout.shops:
+            partition = tiny_mall_venue.space.partition(shop)
+            if partition.polygon is not None and not partition.is_private:
+                shops_by_floor.setdefault(floor, partition)
+                break
+    assert set(shops_by_floor) == {0, 1}
+    source_polygon = shops_by_floor[0].polygon
+    target_polygon = shops_by_floor[1].polygon
+    from repro.geometry.point import IndoorPoint
+
+    source = IndoorPoint(source_polygon.centroid.x, source_polygon.centroid.y, 0)
+    target = IndoorPoint(target_polygon.centroid.x, target_polygon.centroid.y, 1)
+    result = engine.query(source, target, "12:00")
+    assert result.found
+    assert any("stair" in door_id for door_id in result.path.door_sequence)
+    assert result.path.is_valid(tiny_mall_itgraph)
+
+
+def test_snapshot_cache_is_shared_across_queries(engine, workload):
+    before = engine.updater.updates_performed
+    for query in workload:
+        engine.run(query, method=CheckMethod.ASYNCHRONOUS)
+    after = engine.updater.updates_performed
+    # All 12:00 queries fall in the same checkpoint interval, so at most a
+    # couple of snapshot constructions are needed for the whole workload.
+    assert after - before <= 3
+
+
+def test_statistics_reflect_method_differences(engine, workload):
+    syn = engine.run(workload[0], method=CheckMethod.SYNCHRONOUS)
+    asyn = engine.run(workload[0], method=CheckMethod.ASYNCHRONOUS)
+    assert syn.statistics.ati_probes > 0
+    assert asyn.statistics.membership_checks > 0
+    # ITG/A replaces per-door ATI probes by membership tests.
+    assert asyn.statistics.ati_probes <= syn.statistics.ati_probes

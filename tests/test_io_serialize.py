@@ -1,0 +1,110 @@
+"""Tests for JSON serialisation of venues, schedules and workloads."""
+
+import pytest
+
+from repro.core.engine import ITSPQEngine
+from repro.core.itgraph import build_itgraph
+from repro.core.query import ITSPQuery
+from repro.datasets.example_floorplan import (
+    build_example_schedule,
+    build_example_space,
+    example_query_points,
+)
+from repro.exceptions import SerializationError
+from repro.geometry.point import IndoorPoint
+from repro.io.serialize import (
+    load_json,
+    queries_from_dict,
+    queries_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    space_from_dict,
+    space_to_dict,
+)
+
+
+class TestSpaceRoundTrip:
+    def test_round_trip_preserves_structure(self, example_space):
+        document = space_to_dict(example_space)
+        restored = space_from_dict(document)
+        assert restored.partition_ids() == example_space.partition_ids()
+        assert restored.door_ids() == example_space.door_ids()
+        assert restored.topology.directed_edges == example_space.topology.directed_edges
+        for partition_id in example_space.partition_ids():
+            original = example_space.partition(partition_id)
+            copy = restored.partition(partition_id)
+            assert copy.partition_type == original.partition_type
+            assert copy.floor == original.floor
+            assert copy.area == pytest.approx(original.area)
+        restored.validate()
+
+    def test_round_trip_preserves_query_answers(self, example_space):
+        schedule = build_example_schedule()
+        restored_space = space_from_dict(space_to_dict(example_space))
+        restored_schedule = schedule_from_dict(schedule_to_dict(schedule))
+        points = example_query_points()
+
+        original_engine = ITSPQEngine(build_itgraph(example_space, schedule))
+        restored_engine = ITSPQEngine(build_itgraph(restored_space, restored_schedule))
+        for time in ("9:00", "23:30"):
+            original = original_engine.query(points["p3"], points["p4"], time)
+            restored = restored_engine.query(points["p3"], points["p4"], time)
+            assert original.found == restored.found
+            if original.found:
+                assert original.length == pytest.approx(restored.length)
+                assert original.path.door_sequence == restored.path.door_sequence
+
+    def test_round_trip_of_multifloor_venue(self, tiny_mall_venue):
+        document = space_to_dict(tiny_mall_venue.space)
+        restored = space_from_dict(document)
+        assert restored.count_doors() == tiny_mall_venue.space.count_doors()
+        # Staircase overrides survive the round trip.
+        staircase_id = tiny_mall_venue.staircases[0]
+        doors = sorted(restored.topology.doors_of(staircase_id))
+        assert restored.partition(staircase_id).override_distance(doors[0], doors[1]) == 20.0
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(SerializationError):
+            space_from_dict({"partitions": [{"id": "a"}]})  # missing doors/connections
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip(self):
+        schedule = build_example_schedule()
+        restored = schedule_from_dict(schedule_to_dict(schedule))
+        assert restored.scheduled_doors() == schedule.scheduled_doors()
+        for door_id in schedule.scheduled_doors():
+            assert restored[door_id] == schedule[door_id]
+
+    def test_malformed_schedule_rejected(self):
+        with pytest.raises(SerializationError):
+            schedule_from_dict({"doors": {"d1": [["25:99"]]}})
+
+
+class TestQueryWorkloadRoundTrip:
+    def test_round_trip(self):
+        queries = [
+            ITSPQuery(IndoorPoint(1, 2, 0), IndoorPoint(3, 4, 1), "9:30", label="a"),
+            ITSPQuery(IndoorPoint(5, 6, 2), IndoorPoint(7, 8, 2), "22:00", label="b"),
+        ]
+        restored = queries_from_dict(queries_to_dict(queries))
+        assert restored == queries
+
+    def test_malformed_workload_rejected(self):
+        with pytest.raises(SerializationError):
+            queries_from_dict({"queries": [{"source": [0, 0]}]})
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, example_space):
+        path = save_json(space_to_dict(example_space), tmp_path / "venue.json")
+        assert path.exists()
+        document = load_json(path)
+        assert space_from_dict(document).partition_ids() == example_space.partition_ids()
+
+    def test_load_invalid_json(self, tmp_path):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_json(bad)

@@ -1,0 +1,109 @@
+"""Property-based tests of the ITSPQ engine's core invariants.
+
+The invariants checked on randomly drawn queries (endpoints, query times,
+door schedules):
+
+* ITG/S and ITG/A return identical answers (reachability, length, doors);
+* every returned path re-validates against both ITSPQ rules;
+* the engine agrees with the independent selection-based reference;
+* the exhaustive simple-path optimum is never longer than the engine's
+  answer, and is reachable whenever the engine finds a route.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import CheckMethod, ITSPQEngine
+from repro.core.reference import selection_dijkstra_reference, time_expanded_exact
+from repro.datasets.example_floorplan import build_example_itgraph, example_query_points
+from repro.datasets.simple_venues import build_corridor_venue
+
+# A fixed graph/points instance shared by all examples (hypothesis-friendly:
+# no fixture interaction, deterministic construction).
+_ITGRAPH = build_example_itgraph()
+_POINTS = example_query_points()
+_ENGINE = ITSPQEngine(_ITGRAPH)
+
+point_names = st.sampled_from(sorted(_POINTS))
+query_hours = st.integers(min_value=0, max_value=47).map(lambda half: f"{half // 2}:{30 * (half % 2):02d}")
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(point_names, point_names, query_hours)
+def test_itgs_and_itga_agree_everywhere(source_name, target_name, query_time):
+    source, target = _POINTS[source_name], _POINTS[target_name]
+    syn = _ENGINE.query(source, target, query_time, CheckMethod.SYNCHRONOUS)
+    asyn = _ENGINE.query(source, target, query_time, CheckMethod.ASYNCHRONOUS)
+    assert syn.found == asyn.found
+    if syn.found:
+        assert math.isclose(syn.length, asyn.length, rel_tol=1e-12, abs_tol=1e-9)
+        assert syn.path.door_sequence == asyn.path.door_sequence
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(point_names, point_names, query_hours)
+def test_returned_paths_always_validate(source_name, target_name, query_time):
+    source, target = _POINTS[source_name], _POINTS[target_name]
+    result = _ENGINE.query(source, target, query_time)
+    if result.found:
+        assert result.path.validate(_ITGRAPH) == []
+        # The reported length equals the sum of the hop legs plus the final leg.
+        assert result.length >= result.path.hops[-1].distance_from_source - 1e-9 if result.path.hops else True
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(point_names, point_names, query_hours)
+def test_engine_matches_selection_reference(source_name, target_name, query_time):
+    source, target = _POINTS[source_name], _POINTS[target_name]
+    result = _ENGINE.query(source, target, query_time)
+    reference = selection_dijkstra_reference(_ITGRAPH, source, target, query_time)
+    assert result.found == reference.found
+    if result.found:
+        assert math.isclose(result.length, reference.length, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(point_names, point_names, st.sampled_from(["6:30", "9:00", "12:00", "16:30", "22:30"]))
+def test_exact_optimum_never_longer_than_engine(source_name, target_name, query_time):
+    source, target = _POINTS[source_name], _POINTS[target_name]
+    result = _ENGINE.query(source, target, query_time)
+    exact = time_expanded_exact(_ITGRAPH, source, target, query_time, max_doors=12)
+    if result.found:
+        assert exact.found
+        assert exact.length <= result.length + 1e-9
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=0, max_value=23),
+    st.integers(min_value=1, max_value=23),
+    st.sampled_from(["room1", "room2", "room3", "room4", "corridor"]),
+    st.sampled_from(["room1", "room2", "room3", "room4", "corridor"]),
+)
+def test_shortcut_schedule_never_breaks_invariants(open_hour, duration, source_name, target_name):
+    """Randomised shortcut schedules on the corridor venue keep the invariants."""
+    close_hour = min(24, open_hour + duration)
+    if close_hour <= open_hour:
+        return
+    itgraph, points = build_corridor_venue(
+        {"s12": [(f"{open_hour}:00", f"{close_hour}:00")]}
+    )
+    engine = ITSPQEngine(itgraph)
+    for query_time in (f"{open_hour}:00", "12:00"):
+        syn = engine.query(points[source_name], points[target_name], query_time)
+        asyn = engine.query(
+            points[source_name], points[target_name], query_time, CheckMethod.ASYNCHRONOUS
+        )
+        assert syn.found == asyn.found
+        if syn.found:
+            assert math.isclose(syn.length, asyn.length, abs_tol=1e-9)
+            assert syn.path.validate(itgraph) == []
+        reference = selection_dijkstra_reference(
+            itgraph, points[source_name], points[target_name], query_time
+        )
+        assert reference.found == syn.found
+        if syn.found:
+            assert math.isclose(reference.length, syn.length, abs_tol=1e-9)

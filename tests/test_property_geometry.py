@@ -1,0 +1,77 @@
+"""Property-based tests for the geometry substrate (hypothesis)."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.measures import euclidean_distance, path_length
+from repro.geometry.point import Point2D
+from repro.geometry.polygon import Rectangle
+from repro.geometry.segment import LineSegment
+
+coordinates = st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+points = st.builds(Point2D, coordinates, coordinates)
+
+
+class TestMetricProperties:
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert math.isclose(a.distance_to(b), b.distance_to(a), abs_tol=1e-9)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points)
+    def test_identity(self, a):
+        assert a.distance_to(a) == 0.0
+
+    @given(points, points)
+    def test_manhattan_upper_bounds_euclidean(self, a, b):
+        assert euclidean_distance(a, b) <= a.manhattan_distance_to(b) + 1e-9
+
+    @given(st.lists(points, min_size=2, max_size=8))
+    def test_path_length_at_least_straight_line(self, polyline):
+        assert path_length(polyline) >= euclidean_distance(polyline[0], polyline[-1]) - 1e-6
+
+
+class TestSegmentProperties:
+    @given(points, points, points)
+    def test_closest_point_is_no_farther_than_endpoints(self, start, end, probe):
+        segment = LineSegment(start, end)
+        closest = segment.distance_to_point(probe)
+        assert closest <= probe.distance_to(start) + 1e-9
+        assert closest <= probe.distance_to(end) + 1e-9
+
+    @given(points, points, st.floats(min_value=0, max_value=1))
+    def test_point_at_lies_on_segment(self, start, end, fraction):
+        segment = LineSegment(start, end)
+        interior = segment.point_at(fraction)
+        assert segment.distance_to_point(interior) <= 1e-6 * max(1.0, segment.length)
+
+
+class TestRectangleProperties:
+    @given(
+        st.floats(min_value=-500, max_value=500, allow_nan=False),
+        st.floats(min_value=-500, max_value=500, allow_nan=False),
+        st.floats(min_value=0.5, max_value=400),
+        st.floats(min_value=0.5, max_value=400),
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_sampled_interior_points_are_contained(self, x, y, width, height, fx, fy):
+        rect = Rectangle(x, y, x + width, y + height)
+        interior = Point2D(x + fx * width, y + fy * height)
+        assert rect.contains(interior)
+        assert rect.area == width * height or math.isclose(rect.area, width * height, rel_tol=1e-9)
+
+    @given(
+        st.floats(min_value=-500, max_value=500, allow_nan=False),
+        st.floats(min_value=-500, max_value=500, allow_nan=False),
+        st.floats(min_value=1, max_value=400),
+        st.floats(min_value=1, max_value=400),
+    )
+    def test_centroid_is_inside(self, x, y, width, height):
+        rect = Rectangle(x, y, x + width, y + height)
+        assert rect.contains(rect.centroid)

@@ -1,0 +1,100 @@
+"""Property-based tests for the temporal substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import SECONDS_PER_DAY
+from repro.temporal.atis import ATISet
+from repro.temporal.checkpoints import CheckpointSet
+from repro.temporal.interval import TimeInterval
+from repro.temporal.timeofday import TimeOfDay
+
+# Strategy: instants on a 5-minute grid within the day (keeps examples readable).
+instants = st.integers(min_value=0, max_value=SECONDS_PER_DAY // 300 - 1).map(
+    lambda index: TimeOfDay(index * 300)
+)
+
+
+@st.composite
+def interval_lists(draw, max_size=6):
+    """Lists of well-formed half-open intervals within the day."""
+    count = draw(st.integers(min_value=0, max_value=max_size))
+    intervals = []
+    for _ in range(count):
+        start = draw(st.integers(min_value=0, max_value=SECONDS_PER_DAY - 600))
+        length = draw(st.integers(min_value=300, max_value=SECONDS_PER_DAY - start))
+        intervals.append(TimeInterval(start, start + length))
+    return intervals
+
+
+class TestATISetProperties:
+    @given(interval_lists())
+    def test_normalised_intervals_are_sorted_and_disjoint(self, intervals):
+        atis = ATISet(intervals)
+        ordered = atis.intervals
+        for previous, current in zip(ordered, ordered[1:]):
+            assert previous.end < current.start  # strictly apart (merged otherwise)
+
+    @given(interval_lists(), instants)
+    def test_membership_matches_raw_intervals(self, intervals, instant):
+        atis = ATISet(intervals)
+        raw = any(interval.contains(instant) for interval in intervals)
+        assert atis.contains(instant) == raw
+
+    @given(interval_lists(), instants)
+    def test_complement_is_exact_negation(self, intervals, instant):
+        atis = ATISet(intervals)
+        complement = atis.complement()
+        if instant.seconds < SECONDS_PER_DAY:
+            assert atis.contains(instant) != complement.contains(instant)
+
+    @given(interval_lists(), interval_lists(), instants)
+    def test_union_and_intersection_semantics(self, first, second, instant):
+        a, b = ATISet(first), ATISet(second)
+        assert a.union(b).contains(instant) == (a.contains(instant) or b.contains(instant))
+        assert a.intersection(b).contains(instant) == (a.contains(instant) and b.contains(instant))
+
+    @given(interval_lists())
+    def test_total_open_seconds_preserved_by_normalisation(self, intervals):
+        # Normalisation merges overlaps, so the total can only shrink or stay
+        # equal, and never exceeds a day-equivalent of the raw sum.
+        atis = ATISet(intervals)
+        raw_total = sum(interval.duration for interval in intervals)
+        assert atis.total_open_seconds() <= raw_total + 1e-9
+
+    @given(interval_lists(), instants)
+    def test_next_opening_is_open_or_none(self, intervals, instant):
+        atis = ATISet(intervals)
+        opening = atis.next_opening(instant)
+        if opening is not None:
+            assert atis.contains(opening)
+            assert opening >= instant or atis.contains(instant)
+
+
+class TestCheckpointProperties:
+    @given(st.lists(instants, max_size=12), instants)
+    def test_previous_and_next_bracket_the_instant(self, times, instant):
+        checkpoints = CheckpointSet(times)
+        previous = checkpoints.find_previous(instant)
+        nxt = checkpoints.find_next(instant)
+        if previous is not None:
+            assert previous <= instant
+        if nxt is not None:
+            assert nxt > instant
+        interval = checkpoints.interval_containing(instant)
+        assert interval.contains(instant)
+
+    @given(st.lists(instants, max_size=12), instants)
+    def test_no_checkpoint_strictly_inside_containing_interval(self, times, instant):
+        checkpoints = CheckpointSet(times)
+        interval = checkpoints.interval_containing(instant)
+        for checkpoint in checkpoints:
+            assert not (interval.start < checkpoint < min(interval.end, TimeOfDay(SECONDS_PER_DAY)))
+
+    @given(st.lists(instants, min_size=1, max_size=20))
+    def test_restriction_returns_subset_of_requested_size(self, times):
+        checkpoints = CheckpointSet(times)
+        for size in (1, 2, 4):
+            restricted = checkpoints.restricted_to(size)
+            assert len(restricted) == min(size, len(checkpoints))
+            assert {t.seconds for t in restricted} <= {t.seconds for t in checkpoints}

@@ -1,0 +1,144 @@
+"""Tests for the synthetic mall floor and multi-floor venue generators."""
+
+import random
+
+import pytest
+
+from repro.indoor.entities import PartitionCategory, PartitionType
+from repro.synthetic.floorplan import MallFloorConfig, generate_mall_floor
+from repro.synthetic.multifloor import MultiFloorConfig, generate_mall_venue
+
+
+@pytest.fixture(scope="module")
+def small_floor():
+    config = MallFloorConfig(
+        side=400.0,
+        corridors=2,
+        corridor_cells=4,
+        shop_depth=30.0,
+        shops_per_row=8,
+        double_door_fraction=0.5,
+        private_shop_fraction=0.1,
+    )
+    return generate_mall_floor(config, seed=3)
+
+
+class TestSingleFloor:
+    def test_floor_validates(self, small_floor):
+        space, _ = small_floor
+        space.validate()
+
+    def test_layout_inventory_matches_space(self, small_floor):
+        space, layout = small_floor
+        for partition_id in layout.hallway_cells + layout.shops + layout.anchors:
+            assert space.has_partition(partition_id)
+        for door_id in layout.doors:
+            assert space.has_door(door_id)
+        assert set(layout.private_partitions) <= set(space.partition_ids())
+
+    def test_hallways_and_shops_are_categorised(self, small_floor):
+        space, layout = small_floor
+        for cell in layout.hallway_cells:
+            assert space.partition(cell).category is PartitionCategory.HALLWAY
+        for anchor in layout.anchors:
+            assert space.partition(anchor).category is PartitionCategory.ANCHOR_STORE
+
+    def test_private_partitions_are_private(self, small_floor):
+        space, layout = small_floor
+        for partition_id in layout.private_partitions:
+            assert space.partition(partition_id).is_private
+
+    def test_every_shop_reaches_a_hallway(self, small_floor):
+        space, layout = small_floor
+        hallways = set(layout.hallway_cells)
+        topology = space.topology
+        for shop in layout.shops + layout.anchors:
+            neighbours = set()
+            for door_id in topology.doors_of(shop):
+                neighbours |= set(topology.partitions_of(door_id))
+            assert neighbours & hallways, f"{shop} is not connected to any hallway"
+
+    def test_corridor_cells_form_a_chain(self, small_floor):
+        space, layout = small_floor
+        topology = space.topology
+        # Every corridor cell connects to at least one other hallway cell.
+        hallways = set(layout.hallway_cells)
+        for cell in layout.hallway_cells:
+            neighbours = set()
+            for door_id in topology.doors_of(cell):
+                neighbours |= set(topology.partitions_of(door_id)) - {cell}
+            assert neighbours, f"hallway cell {cell} is isolated"
+
+    def test_generation_is_deterministic(self):
+        config = MallFloorConfig(side=300, corridors=2, corridor_cells=3, shops_per_row=6)
+        space_a, layout_a = generate_mall_floor(config, seed=42)
+        space_b, layout_b = generate_mall_floor(config, seed=42)
+        assert space_a.partition_ids() == space_b.partition_ids()
+        assert space_a.door_ids() == space_b.door_ids()
+        assert layout_a.private_partitions == layout_b.private_partitions
+
+    def test_different_seeds_differ(self):
+        config = MallFloorConfig(side=400, corridors=2, corridor_cells=3, shops_per_row=12,
+                                 double_door_fraction=0.5, private_shop_fraction=0.2)
+        space_a, _ = generate_mall_floor(config, seed=1)
+        space_b, _ = generate_mall_floor(config, seed=2)
+        positions_a = sorted((d.position.x, d.position.y) for d in space_a.iter_doors())
+        positions_b = sorted((d.position.x, d.position.y) for d in space_b.iter_doors())
+        assert positions_a != positions_b
+
+
+class TestPaperScaleFloor:
+    def test_default_floor_matches_paper_scale(self):
+        space, layout = generate_mall_floor(seed=7)
+        partitions = len(space)
+        doors = space.count_doors()
+        # The paper's decomposed floor has 141 partitions and 224 doors; the
+        # reconstruction lands within ~15% of both.
+        assert 120 <= partitions <= 165
+        assert 190 <= doors <= 260
+        assert space.partition_ids()  # floor builds and validates
+        space.validate()
+
+
+class TestMultiFloor:
+    def test_small_venue_structure(self, tiny_mall_venue):
+        space = tiny_mall_venue.space
+        assert tiny_mall_venue.floors == 2
+        assert len(tiny_mall_venue.staircases) == 2
+        assert set(space.floors()) == {0, 1}
+        space.validate()
+
+    def test_staircase_connects_adjacent_floors(self, tiny_mall_venue):
+        space = tiny_mall_venue.space
+        for staircase_id in tiny_mall_venue.staircases:
+            staircase = space.partition(staircase_id)
+            assert staircase.is_staircase
+            assert staircase.spans_floors == (0, 1)
+            doors = space.topology.doors_of(staircase_id)
+            assert len(doors) == 2
+            floors = {space.door(door_id).floor for door_id in doors}
+            assert floors == {0, 1}
+
+    def test_stairway_length_is_registered(self, tiny_mall_venue):
+        space = tiny_mall_venue.space
+        staircase_id = tiny_mall_venue.staircases[0]
+        doors = sorted(space.topology.doors_of(staircase_id))
+        staircase = space.partition(staircase_id)
+        assert staircase.override_distance(doors[0], doors[1]) == pytest.approx(20.0)
+
+    def test_all_shops_and_doors_listed(self, tiny_mall_venue):
+        shops = tiny_mall_venue.all_shops()
+        doors = tiny_mall_venue.all_doors()
+        assert shops and doors
+        assert len(set(shops)) == len(shops)
+        assert len(set(doors)) == len(doors)
+
+    def test_paper_default_counts(self):
+        venue = generate_mall_venue(MultiFloorConfig.paper_default(), seed=7)
+        stats = venue.space.statistics()
+        # Paper default: 705 partitions and 1120 doors over five floors; the
+        # generator reproduces the same order of magnitude.
+        assert 600 <= stats["partitions"] <= 800
+        assert 900 <= stats["doors"] <= 1300
+        assert stats["floors"] == 5
+        assert len(venue.staircases) == 4 * 4

@@ -1,0 +1,91 @@
+"""Tests for the δs2t-controlled query workload generator."""
+
+import pytest
+
+from repro.synthetic.queries import (
+    QueryWorkloadConfig,
+    door_distances_from_point,
+    generate_query_instances,
+)
+
+
+class TestDoorDistances:
+    def test_distances_from_example_point(self, example_itgraph, example_points):
+        distances = door_distances_from_point(example_itgraph, example_points["p3"])
+        # p3 lies in v14 whose doors are d15, d18 and d19.
+        assert distances["d15"] == pytest.approx(1.0)
+        assert distances["d18"] == pytest.approx((1.5 ** 2 + 5 ** 2) ** 0.5)
+        # Distances are monotone under relaxation: every value positive & finite.
+        assert all(value > 0 for value in distances.values())
+
+    def test_private_partitions_block_propagation(self, example_itgraph, example_points):
+        # d16 is only reachable from p3 through the private partition v15,
+        # so it must not appear unless private traversal is allowed.
+        blocked = door_distances_from_point(example_itgraph, example_points["p3"])
+        allowed = door_distances_from_point(
+            example_itgraph, example_points["p3"], allow_private=True
+        )
+        assert "d16" not in blocked or blocked["d16"] > allowed["d16"]
+        assert allowed["d16"] < blocked.get("d16", float("inf"))
+
+    def test_triangle_inequality_with_direct_doors(self, example_itgraph, example_points):
+        distances = door_distances_from_point(example_itgraph, example_points["p1"])
+        # d1 is the only door of p1's partition; every other distance goes through it.
+        assert all(distances["d1"] <= value + 1e-9 for value in distances.values())
+
+
+class TestGenerateQueryInstances:
+    def test_generates_requested_number_of_pairs(self, tiny_mall_itgraph):
+        config = QueryWorkloadConfig(s2t_distance=150, pairs=4, seed=1)
+        instances = generate_query_instances(tiny_mall_itgraph, config)
+        assert len(instances) == 4
+
+    def test_endpoints_are_inside_the_space(self, tiny_mall_itgraph):
+        config = QueryWorkloadConfig(s2t_distance=150, pairs=3, seed=2)
+        for generated in generate_query_instances(tiny_mall_itgraph, config):
+            source_partition = tiny_mall_itgraph.covering_partition(generated.query.source)
+            target_partition = tiny_mall_itgraph.covering_partition(generated.query.target)
+            assert not source_partition.is_private
+            assert not target_partition.is_private
+
+    def test_achieved_distance_tracks_target(self, tiny_mall_itgraph):
+        for target in (100.0, 200.0, 300.0):
+            config = QueryWorkloadConfig(s2t_distance=target, pairs=3, tolerance=0.5, seed=3)
+            instances = generate_query_instances(tiny_mall_itgraph, config)
+            for generated in instances:
+                assert generated.achieved_distance == pytest.approx(target, rel=0.6)
+
+    def test_longer_settings_produce_longer_distances(self, tiny_mall_itgraph):
+        short = generate_query_instances(
+            tiny_mall_itgraph, QueryWorkloadConfig(s2t_distance=80, pairs=4, seed=4)
+        )
+        long = generate_query_instances(
+            tiny_mall_itgraph, QueryWorkloadConfig(s2t_distance=350, pairs=4, seed=4)
+        )
+        mean_short = sum(g.achieved_distance for g in short) / len(short)
+        mean_long = sum(g.achieved_distance for g in long) / len(long)
+        assert mean_long > mean_short
+
+    def test_query_time_and_label_are_applied(self, tiny_mall_itgraph):
+        config = QueryWorkloadConfig(s2t_distance=150, pairs=2, query_time="8:00", seed=5)
+        for generated in generate_query_instances(tiny_mall_itgraph, config):
+            assert str(generated.query.query_time) == "8:00"
+            assert "s2t=150" in generated.query.label
+
+    def test_workload_is_deterministic(self, tiny_mall_itgraph):
+        config = QueryWorkloadConfig(s2t_distance=150, pairs=3, seed=6)
+        first = generate_query_instances(tiny_mall_itgraph, config)
+        second = generate_query_instances(tiny_mall_itgraph, config)
+        assert [g.query.source for g in first] == [g.query.source for g in second]
+        assert [g.query.target for g in first] == [g.query.target for g in second]
+
+    def test_generated_queries_are_answerable_mid_day(self, tiny_mall_itgraph):
+        from repro.core.engine import ITSPQEngine
+
+        engine = ITSPQEngine(tiny_mall_itgraph)
+        config = QueryWorkloadConfig(s2t_distance=150, pairs=3, query_time="12:00", seed=7)
+        results = [
+            engine.run(generated.query)
+            for generated in generate_query_instances(tiny_mall_itgraph, config)
+        ]
+        assert any(result.found for result in results)

@@ -1,0 +1,118 @@
+"""Tests for the opening-hours model and schedule generation."""
+
+import random
+
+import pytest
+
+from repro.indoor.entities import PartitionCategory
+from repro.synthetic.schedules import MallHoursModel, ScheduleConfig, generate_schedule
+from repro.temporal.timeofday import TimeOfDay
+
+
+class TestMallHoursModel:
+    def test_opening_hours_are_ordered_and_quantised(self):
+        model = MallHoursModel(seed=1)
+        for category in (
+            PartitionCategory.SHOP,
+            PartitionCategory.ANCHOR_STORE,
+            PartitionCategory.FOOD_COURT,
+            PartitionCategory.STORAGE,
+        ):
+            for _ in range(20):
+                open_time, close_time = model.sample_opening_hours(category)
+                assert open_time < close_time
+                assert open_time.seconds % 1800 == 0
+                assert close_time.seconds % 1800 == 0
+
+    def test_shops_open_during_the_middle_of_the_day(self):
+        model = MallHoursModel(seed=2)
+        noon = TimeOfDay("12:00")
+        samples = [model.sample_opening_hours(PartitionCategory.SHOP) for _ in range(50)]
+        covering = sum(1 for open_t, close_t in samples if open_t <= noon < close_t)
+        assert covering >= 45  # nearly every shop is open at noon
+
+    @pytest.mark.parametrize("size", [4, 8, 12, 16])
+    def test_checkpoint_pairs_have_requested_size(self, size):
+        model = MallHoursModel(seed=3)
+        checkpoints, pairs = model.sample_checkpoint_pairs(size)
+        assert len(checkpoints) == size
+        assert len(pairs) == size // 2
+        for open_time, close_time in pairs:
+            assert open_time < close_time
+            assert open_time in checkpoints and close_time in checkpoints
+
+    def test_checkpoints_wrapper(self):
+        model = MallHoursModel(seed=4)
+        assert len(model.sample_checkpoints(8)) == 8
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            MallHoursModel().sample_checkpoint_pairs(0)
+
+
+class TestGenerateSchedule:
+    def test_schedule_covers_requested_fraction(self, tiny_mall_venue):
+        space = tiny_mall_venue.space
+        config = ScheduleConfig(checkpoint_count=8, temporal_door_fraction=0.9, seed=5)
+        schedule, checkpoints = generate_schedule(space, config)
+        eligible = [
+            door_id
+            for door_id in space.door_ids()
+            if not any(marker in door_id for marker in config.always_open_markers)
+        ]
+        fraction = len(schedule) / len(eligible)
+        assert 0.75 <= fraction <= 1.0
+        assert len(checkpoints) == 8
+
+    def test_staircase_and_exit_doors_stay_always_open(self, tiny_mall_venue):
+        space = tiny_mall_venue.space
+        schedule, _ = generate_schedule(space, ScheduleConfig(seed=5))
+        for door_id in space.door_ids():
+            if "stair" in door_id or "exit" in door_id:
+                assert door_id not in schedule
+                assert schedule.is_open(door_id, "3:00")
+
+    def test_atis_use_checkpoint_instants_only(self, tiny_mall_venue):
+        space = tiny_mall_venue.space
+        schedule, checkpoints = generate_schedule(space, ScheduleConfig(checkpoint_count=8, seed=6))
+        checkpoint_seconds = {t.seconds for t in checkpoints}
+        for door_id, atis in schedule.items():
+            for interval in atis:
+                assert interval.start.seconds in checkpoint_seconds
+                assert interval.end.seconds in checkpoint_seconds
+
+    def test_at_most_three_atis_per_door(self, tiny_mall_venue):
+        space = tiny_mall_venue.space
+        schedule, _ = generate_schedule(
+            space, ScheduleConfig(checkpoint_count=16, max_atis_per_door=3, seed=7)
+        )
+        # ATIs may merge when they overlap, so the bound is an upper bound.
+        assert all(len(atis) <= 3 for _, atis in schedule.items())
+
+    def test_schedule_is_deterministic(self, tiny_mall_venue):
+        space = tiny_mall_venue.space
+        first, _ = generate_schedule(space, ScheduleConfig(seed=9))
+        second, _ = generate_schedule(space, ScheduleConfig(seed=9))
+        assert first.scheduled_doors() == second.scheduled_doors()
+        for door_id in first.scheduled_doors():
+            assert first[door_id] == second[door_id]
+
+    def test_most_doors_open_at_noon_fewer_late_at_night(self, tiny_mall_venue):
+        # The property the paper relies on for Figures 4, 6 and 7.
+        space = tiny_mall_venue.space
+        schedule, _ = generate_schedule(space, ScheduleConfig(checkpoint_count=8, seed=10))
+        universe = list(schedule.scheduled_doors())
+        open_noon = len(schedule.doors_open_at("12:00", universe))
+        open_night = len(schedule.doors_open_at("23:45", universe))
+        open_early = len(schedule.doors_open_at("4:00", universe))
+        assert open_noon > open_night
+        assert open_noon > open_early
+        assert open_noon >= 0.9 * len(universe)
+
+    def test_explicit_door_universe(self, tiny_mall_venue):
+        space = tiny_mall_venue.space
+        subset = space.door_ids()[:5]
+        schedule, _ = generate_schedule(
+            space, ScheduleConfig(temporal_door_fraction=1.0, seed=11), doors=subset
+        )
+        assert schedule.scheduled_doors() <= set(subset)

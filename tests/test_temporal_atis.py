@@ -1,0 +1,112 @@
+"""Tests for Active Time Interval sets."""
+
+import pytest
+
+from repro.temporal.atis import ATISet
+from repro.temporal.interval import TimeInterval
+from repro.temporal.timeofday import TimeOfDay
+
+
+@pytest.fixture()
+def d9_atis():
+    """Door d9 of Table I: open [0:00, 6:00) and [6:30, 23:00)."""
+    return ATISet.from_pairs([("0:00", "6:00"), ("6:30", "23:00")])
+
+
+class TestConstruction:
+    def test_from_pairs_keeps_disjoint_intervals(self, d9_atis):
+        assert len(d9_atis) == 2
+
+    def test_intervals_are_sorted(self):
+        atis = ATISet.from_pairs([("18:00", "23:00"), ("5:00", "17:00")])
+        assert [str(i.start) for i in atis] == ["5:00", "18:00"]
+
+    def test_overlapping_intervals_are_merged(self):
+        atis = ATISet.from_pairs([("8:00", "12:00"), ("11:00", "16:00")])
+        assert len(atis) == 1
+        assert atis.intervals[0] == TimeInterval("8:00", "16:00")
+
+    def test_abutting_intervals_are_merged(self):
+        atis = ATISet.from_pairs([("8:00", "12:00"), ("12:00", "16:00")])
+        assert len(atis) == 1
+
+    def test_always_and_never_open(self):
+        assert ATISet.always_open().contains("0:00")
+        assert ATISet.always_open().contains("23:59:59")
+        assert not ATISet.never_open().contains("12:00")
+        assert not ATISet.never_open()
+
+    def test_equality_and_hash(self):
+        a = ATISet.from_pairs([("8:00", "16:00")])
+        b = ATISet.from_pairs([("8:00", "16:00")])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestMembership:
+    def test_membership_half_open(self, d9_atis):
+        assert d9_atis.contains("0:00")
+        assert d9_atis.contains("5:59:59")
+        assert not d9_atis.contains("6:00")
+        assert not d9_atis.contains("6:15")
+        assert d9_atis.contains("6:30")
+        assert not d9_atis.contains("23:00")
+        assert "12:00" in d9_atis
+
+    def test_interval_containing(self, d9_atis):
+        assert d9_atis.interval_containing("3:00") == TimeInterval("0:00", "6:00")
+        assert d9_atis.interval_containing("6:10") is None
+
+    def test_membership_after_end_of_day(self):
+        atis = ATISet.from_pairs([("8:00", "16:00")])
+        # An arrival time past midnight (no wrap-around) is never inside an ATI.
+        assert not atis.contains(TimeOfDay(90000))
+
+
+class TestQueries:
+    def test_next_opening(self, d9_atis):
+        assert d9_atis.next_opening("6:10") == TimeOfDay("6:30")
+        assert d9_atis.next_opening("12:00") == TimeOfDay("12:00")  # already open
+        assert d9_atis.next_opening("23:30") is None
+
+    def test_is_open_throughout(self, d9_atis):
+        assert d9_atis.is_open_throughout(TimeInterval("7:00", "22:00"))
+        assert not d9_atis.is_open_throughout(TimeInterval("5:00", "7:00"))
+
+    def test_total_open_seconds(self):
+        atis = ATISet.from_pairs([("8:00", "9:00"), ("10:00", "10:30")])
+        assert atis.total_open_seconds() == 5400
+
+    def test_boundary_times(self, d9_atis):
+        boundaries = [str(t) for t in d9_atis.boundary_times()]
+        assert boundaries == ["0:00", "6:00", "6:30", "23:00"]
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = ATISet.from_pairs([("8:00", "10:00")])
+        b = ATISet.from_pairs([("9:00", "12:00")])
+        union = a.union(b)
+        assert len(union) == 1
+        assert union.contains("11:00")
+
+    def test_intersection(self):
+        a = ATISet.from_pairs([("8:00", "12:00")])
+        b = ATISet.from_pairs([("10:00", "16:00")])
+        result = a.intersection(b)
+        assert result == ATISet.from_pairs([("10:00", "12:00")])
+
+    def test_intersection_disjoint_is_empty(self):
+        a = ATISet.from_pairs([("8:00", "9:00")])
+        b = ATISet.from_pairs([("10:00", "11:00")])
+        assert not a.intersection(b)
+
+    def test_complement_round_trip(self, d9_atis):
+        complement = d9_atis.complement()
+        assert complement.contains("6:15")
+        assert complement.contains("23:30")
+        assert not complement.contains("12:00")
+        # Complement of the complement restores the original open periods.
+        assert complement.complement() == d9_atis
+
+    def test_complement_of_empty_is_whole_day(self):
+        assert ATISet.never_open().complement() == ATISet.always_open()

@@ -1,0 +1,87 @@
+"""Tests for checkpoint sets and the Find_Previous/Find_Next primitives."""
+
+import pytest
+
+from repro.temporal.checkpoints import CheckpointSet
+from repro.temporal.timeofday import TimeOfDay
+
+
+@pytest.fixture()
+def checkpoints():
+    return CheckpointSet(["8:00", "12:00", "16:00", "20:00"])
+
+
+def test_deduplication_and_ordering():
+    cps = CheckpointSet(["16:00", "8:00", "8:00", "12:00"])
+    assert [str(t) for t in cps] == ["8:00", "12:00", "16:00"]
+    assert len(cps) == 3
+
+
+def test_membership(checkpoints):
+    assert "12:00" in checkpoints
+    assert "12:01" not in checkpoints
+
+
+def test_find_previous(checkpoints):
+    assert checkpoints.find_previous("13:00") == TimeOfDay("12:00")
+    assert checkpoints.find_previous("12:00") == TimeOfDay("12:00")  # inclusive
+    assert checkpoints.find_previous("7:00") is None
+
+
+def test_find_next(checkpoints):
+    assert checkpoints.find_next("13:00") == TimeOfDay("16:00")
+    assert checkpoints.find_next("12:00") == TimeOfDay("16:00")  # strictly after
+    assert checkpoints.find_next("21:00") is None
+
+
+def test_interval_containing_inner(checkpoints):
+    interval = checkpoints.interval_containing("13:00")
+    assert str(interval) == "[12:00, 16:00)"
+
+
+def test_interval_containing_before_first(checkpoints):
+    interval = checkpoints.interval_containing("5:00")
+    assert str(interval) == "[0:00, 8:00)"
+
+
+def test_interval_containing_after_last(checkpoints):
+    # After the last checkpoint the topology never changes again, so the
+    # interval extends beyond the end of the day (arrival times can exceed
+    # 24:00 because walking never wraps around midnight).
+    interval = checkpoints.interval_containing("23:00")
+    assert str(interval.start) == "20:00"
+    assert interval.end.seconds >= 86400
+    assert interval.contains("23:59")
+    assert interval.contains(90000)  # an arrival past midnight stays covered
+
+
+def test_interval_containing_at_last_checkpoint(checkpoints):
+    interval = checkpoints.interval_containing("20:00")
+    assert str(interval.start) == "20:00"
+    assert interval.contains("20:00")
+    assert interval.contains("23:59")
+
+
+def test_merged_with(checkpoints):
+    merged = checkpoints.merged_with(CheckpointSet(["9:00", "12:00"]))
+    assert len(merged) == 5
+
+
+def test_restricted_to():
+    cps = CheckpointSet([f"{hour}:00" for hour in range(1, 17)])
+    thinned = cps.restricted_to(4)
+    assert len(thinned) == 4
+    assert set(t.seconds for t in thinned) <= set(t.seconds for t in cps)
+    assert len(cps.restricted_to(100)) == len(cps)
+    assert len(cps.restricted_to(0)) == 0
+    with pytest.raises(ValueError):
+        cps.restricted_to(-1)
+
+
+def test_empty_checkpoint_set():
+    empty = CheckpointSet()
+    assert empty.find_previous("12:00") is None
+    assert empty.find_next("12:00") is None
+    interval = empty.interval_containing("12:00")
+    assert str(interval.start) == "0:00"
+    assert interval.contains("0:00") and interval.contains("23:59")

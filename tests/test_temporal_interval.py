@@ -1,0 +1,66 @@
+"""Tests for half-open time intervals."""
+
+import pytest
+
+from repro.exceptions import InvalidTimeError
+from repro.temporal.interval import TimeInterval
+from repro.temporal.timeofday import TimeOfDay
+
+
+def test_interval_accepts_strings_and_instances():
+    interval = TimeInterval("8:00", TimeOfDay("16:00"))
+    assert interval.start == TimeOfDay("8:00")
+    assert interval.end == TimeOfDay("16:00")
+
+
+def test_interval_must_be_non_empty():
+    with pytest.raises(InvalidTimeError):
+        TimeInterval("8:00", "8:00")
+    with pytest.raises(InvalidTimeError):
+        TimeInterval("9:00", "8:00")
+
+
+def test_duration():
+    assert TimeInterval("8:00", "16:00").duration == 8 * 3600
+
+
+def test_half_open_membership():
+    interval = TimeInterval("8:00", "16:00")
+    assert interval.contains("8:00")       # open instant included
+    assert interval.contains("15:59:59")
+    assert not interval.contains("16:00")  # close instant excluded
+    assert not interval.contains("7:59:59")
+    assert "12:00" in interval
+
+
+def test_overlaps():
+    a = TimeInterval("8:00", "12:00")
+    assert a.overlaps(TimeInterval("11:00", "13:00"))
+    assert not a.overlaps(TimeInterval("12:00", "13:00"))  # abutting does not overlap
+    assert a.touches_or_overlaps(TimeInterval("12:00", "13:00"))
+
+
+def test_intersection():
+    a = TimeInterval("8:00", "12:00")
+    b = TimeInterval("10:00", "14:00")
+    assert a.intersection(b) == TimeInterval("10:00", "12:00")
+    assert a.intersection(TimeInterval("13:00", "14:00")) is None
+
+
+def test_union_if_touching():
+    a = TimeInterval("8:00", "12:00")
+    assert a.union_if_touching(TimeInterval("12:00", "13:00")) == TimeInterval("8:00", "13:00")
+    assert a.union_if_touching(TimeInterval("14:00", "15:00")) is None
+
+
+def test_shifted():
+    assert TimeInterval("8:00", "9:00").shifted(1800) == TimeInterval("8:30", "9:30")
+
+
+def test_string_rendering():
+    assert str(TimeInterval("8:00", "16:00")) == "[8:00, 16:00)"
+
+
+def test_equality_and_hash():
+    assert TimeInterval("8:00", "9:00") == TimeInterval("8:00", "9:00")
+    assert len({TimeInterval("8:00", "9:00"), TimeInterval("8:00", "9:00")}) == 1

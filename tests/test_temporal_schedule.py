@@ -1,0 +1,86 @@
+"""Tests for door schedules."""
+
+import pytest
+
+from repro.datasets.example_floorplan import TABLE_I_ATIS
+from repro.exceptions import UnknownEntityError
+from repro.temporal.atis import ATISet
+from repro.temporal.schedule import DoorSchedule
+
+
+@pytest.fixture()
+def schedule():
+    return DoorSchedule.from_pairs(TABLE_I_ATIS)
+
+
+def test_table_i_has_21_doors(schedule):
+    assert len(schedule) == 21
+    assert schedule.scheduled_doors() == {f"d{i}" for i in range(1, 22)}
+
+
+def test_atis_lookup(schedule):
+    assert schedule.atis_for("d2") == ATISet.from_pairs([("8:00", "16:00")])
+    assert schedule["d9"] == ATISet.from_pairs([("0:00", "6:00"), ("6:30", "23:00")])
+
+
+def test_unscheduled_door_defaults_to_always_open(schedule):
+    assert schedule.atis_for("unknown-door").contains("3:00")
+    assert "unknown-door" not in schedule
+
+
+def test_is_open(schedule):
+    assert schedule.is_open("d2", "12:00")
+    assert not schedule.is_open("d2", "7:00")
+    assert not schedule.is_open("d2", "16:00")  # close time excluded
+
+
+def test_doors_open_at(schedule):
+    open_at_noon = schedule.doors_open_at("12:00")
+    assert "d2" in open_at_noon and "d18" in open_at_noon
+    # At 3:00 only the handful of early/always-open doors remain.
+    open_at_3 = schedule.doors_open_at("3:00")
+    assert open_at_3 == {"d9", "d14", "d17", "d18"}
+
+
+def test_doors_closed_at(schedule):
+    closed = schedule.doors_closed_at("23:45")
+    assert "d7" in closed  # closes 23:30
+    assert "d14" not in closed  # open all day
+    # Restricting the universe only reports doors from it.
+    assert schedule.doors_closed_at("23:45", universe=["d14", "d7"]) == {"d7"}
+
+
+def test_checkpoints_are_all_boundaries(schedule):
+    checkpoints = schedule.checkpoints()
+    expected_instants = set()
+    for intervals in TABLE_I_ATIS.values():
+        for start, end in intervals:
+            expected_instants.add(start)
+            expected_instants.add(end)
+    assert len(checkpoints) == len({str(t) for t in checkpoints})
+    assert {str(t) for t in checkpoints} == {
+        str(instant) for instant in map(_normalise, expected_instants)
+    }
+
+
+def _normalise(text):
+    from repro.temporal.timeofday import TimeOfDay
+
+    return TimeOfDay(text)
+
+
+def test_validate_doors_accepts_known(schedule):
+    schedule.validate_doors([f"d{i}" for i in range(1, 22)])
+
+
+def test_validate_doors_rejects_unknown(schedule):
+    with pytest.raises(UnknownEntityError):
+        schedule.validate_doors([f"d{i}" for i in range(1, 10)])
+
+
+def test_with_door_and_set_atis():
+    schedule = DoorSchedule()
+    updated = schedule.with_door("x", ATISet.from_pairs([("8:00", "9:00")]))
+    assert "x" in updated and "x" not in schedule
+    schedule.set_atis("y", ATISet.never_open())
+    assert not schedule.is_open("y", "12:00")

@@ -1,0 +1,108 @@
+"""Tests for times of day."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidTimeError
+from repro.temporal.timeofday import TimeOfDay, as_time_of_day
+
+
+class TestParsing:
+    def test_parse_hours_minutes(self):
+        assert TimeOfDay("8:30").seconds == 8 * 3600 + 30 * 60
+
+    def test_parse_hours_minutes_seconds(self):
+        assert TimeOfDay("8:30:15").seconds == 8 * 3600 + 30 * 60 + 15
+
+    def test_parse_bare_hours(self):
+        assert TimeOfDay("8").seconds == 8 * 3600
+
+    def test_parse_midnight_and_end_of_day(self):
+        assert TimeOfDay("0:00").seconds == 0
+        assert TimeOfDay("24:00").seconds == 86400
+
+    def test_parse_number(self):
+        assert TimeOfDay(3600).seconds == 3600
+        assert TimeOfDay(3600.5).seconds == 3600.5
+
+    def test_parse_existing_instance(self):
+        original = TimeOfDay("9:15")
+        assert TimeOfDay(original) == original
+
+    @pytest.mark.parametrize("bad", ["", "ab:cd", "8:61", "8:00:99", "1:2:3:4", None, object()])
+    def test_rejects_malformed_inputs(self, bad):
+        with pytest.raises(InvalidTimeError):
+            TimeOfDay(bad)
+
+    def test_rejects_negative_and_non_finite(self):
+        with pytest.raises(InvalidTimeError):
+            TimeOfDay(-1)
+        with pytest.raises(InvalidTimeError):
+            TimeOfDay(float("nan"))
+
+
+class TestAccessors:
+    def test_components(self):
+        t = TimeOfDay("13:45:30")
+        assert (t.hour, t.minute) == (13, 45)
+        assert math.isclose(t.second, 30.0)
+
+    def test_from_hours(self):
+        assert TimeOfDay.from_hours(8.5) == TimeOfDay("8:30")
+
+    def test_within_day(self):
+        assert TimeOfDay("23:59").within_day
+        assert TimeOfDay.end_of_day().within_day
+        assert not TimeOfDay(90000).within_day
+
+
+class TestArithmetic:
+    def test_add_seconds(self):
+        assert TimeOfDay("8:00").add_seconds(90) == TimeOfDay("8:01:30")
+
+    def test_plus_operator(self):
+        assert TimeOfDay("8:00") + 3600 == TimeOfDay("9:00")
+        assert 3600 + TimeOfDay("8:00") == TimeOfDay("9:00")
+
+    def test_difference_of_times(self):
+        assert TimeOfDay("9:00") - TimeOfDay("8:30") == 1800
+
+    def test_minus_seconds(self):
+        assert TimeOfDay("9:00") - 1800 == TimeOfDay("8:30")
+
+    def test_additions_do_not_wrap(self):
+        late = TimeOfDay("23:30") + 3600
+        assert late.seconds == 23.5 * 3600 + 3600
+        assert late.wrapped() == TimeOfDay("0:30")
+
+
+class TestComparison:
+    def test_ordering(self):
+        assert TimeOfDay("8:00") < TimeOfDay("8:01") < TimeOfDay("23:00")
+        assert TimeOfDay("8:00") <= TimeOfDay("8:00")
+
+    def test_comparison_with_numbers(self):
+        assert TimeOfDay("1:00") == 3600
+        assert TimeOfDay("1:00") < 3700
+
+    def test_hashable(self):
+        assert len({TimeOfDay("8:00"), TimeOfDay("8:00"), TimeOfDay("9:00")}) == 2
+
+
+class TestFormatting:
+    def test_str_round_trip(self):
+        for text in ["0:00", "8:05", "23:59", "24:00"]:
+            assert str(TimeOfDay(text)) == text
+
+    def test_str_with_seconds(self):
+        assert str(TimeOfDay("7:03:09")) == "7:03:09"
+
+    def test_float_conversion(self):
+        assert float(TimeOfDay("1:00")) == 3600.0
+
+
+def test_as_time_of_day_coercion():
+    assert as_time_of_day("2:00") == TimeOfDay(7200)
+    t = TimeOfDay("5:00")
+    assert as_time_of_day(t) is t
