@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Compiled-vs-reference engine speedup on the Figure 6 query workload.
+
+Runs the paper's time-of-day sweep (the ``fig6`` setting: default ``|T|`` and
+δs2t, queries issued at every even hour) once with the object-level reference
+engine (``compiled=False``) and once with the compiled integer-indexed fast
+path (``compiled=True``), measuring both through the existing
+:func:`repro.bench.harness.run_query_set` protocol.  The two engines return
+bit-identical answers (asserted here per query), so the comparison isolates
+pure query-processing cost.
+
+Writes a JSON perf record (default ``BENCH_compiled.json`` at the repository
+root) with per-time-point p50 latencies and the headline summary: median
+query latency per engine and the speedup ratio of the compiled path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compiled_speedup.py
+    PYTHONPATH=src python benchmarks/bench_compiled_speedup.py --scale small -o out.json
+
+The venue scale defaults to ``paper`` (the Table II setting the figure is
+about); ``REPRO_BENCH_SCALE`` or ``--scale`` overrides it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.bench.experiments import (  # noqa: E402
+    ExperimentScale,
+    build_environment,
+    default_grid,
+)
+from repro.bench.harness import run_query_set  # noqa: E402
+from repro.bench.reporting import format_table  # noqa: E402
+from repro.core.engine import ITSPQEngine  # noqa: E402
+
+METHODS = ("ITG/S", "ITG/A")
+
+
+def _assert_parity(reference, compiled_engine, queries, method):
+    """Both engines must agree before any timing is trusted."""
+    for query in queries:
+        ref = reference.run(query, method=method)
+        cmp = compiled_engine.run(query, method=method)
+        if ref.found != cmp.found or ref.length != cmp.length:
+            raise AssertionError(
+                f"engine disagreement on {query} ({method}): "
+                f"reference={ref.length}, compiled={cmp.length}"
+            )
+
+
+def run_benchmark(scale: ExperimentScale) -> dict:
+    """Execute the sweep and return the JSON-ready perf record."""
+    grid = default_grid(scale)
+    rows = []
+    compile_build_ms = None
+
+    for query_time in grid.query_times:
+        environment = build_environment(
+            scale,
+            checkpoint_count=grid.default_checkpoints,
+            s2t_distance=grid.default_s2t,
+            query_time=query_time,
+            grid=grid,
+        )
+        reference = ITSPQEngine(environment.itgraph, compiled=False)
+        compiled_engine = ITSPQEngine(environment.itgraph, compiled=True)
+        started = time.perf_counter()
+        compiled_engine.ensure_compiled()
+        if compile_build_ms is None:
+            compile_build_ms = (time.perf_counter() - started) * 1e3
+
+        for method in METHODS:
+            _assert_parity(reference, compiled_engine, environment.queries, method)
+            ref_measure = run_query_set(
+                reference, environment.queries, method, repetitions=grid.repetitions
+            )
+            cmp_measure = run_query_set(
+                compiled_engine, environment.queries, method, repetitions=grid.repetitions
+            )
+            rows.append(
+                {
+                    "query_time": query_time,
+                    "method": method,
+                    "queries": len(environment.queries),
+                    "repetitions": grid.repetitions,
+                    "reference_p50_us": round(ref_measure.p50_time_us, 2),
+                    "compiled_p50_us": round(cmp_measure.p50_time_us, 2),
+                    "reference_mean_us": round(ref_measure.mean_time_us, 2),
+                    "compiled_mean_us": round(cmp_measure.mean_time_us, 2),
+                    "speedup_p50": round(
+                        ref_measure.p50_time_us / cmp_measure.p50_time_us, 2
+                    ),
+                }
+            )
+
+    summary = {}
+    for method in METHODS:
+        method_rows = [row for row in rows if row["method"] == method]
+        reference_median = statistics.median(row["reference_p50_us"] for row in method_rows)
+        compiled_median = statistics.median(row["compiled_p50_us"] for row in method_rows)
+        summary[method] = {
+            "median_query_latency_reference_us": round(reference_median, 2),
+            "median_query_latency_compiled_us": round(compiled_median, 2),
+            "speedup": round(reference_median / compiled_median, 2),
+        }
+
+    return {
+        "benchmark": "bench_compiled_speedup",
+        "workload": "fig6 (search time vs query time of day)",
+        "scale": scale.value,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "compile_build_ms": round(compile_build_ms or 0.0, 2),
+        "summary": summary,
+        "rows": rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_BENCH_SCALE", "paper"),
+        choices=[scale.value for scale in ExperimentScale],
+        help="venue/workload scale (default: paper, the Table II setting)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_compiled.json",
+        help="where to write the JSON perf record",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(ExperimentScale(args.scale))
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(format_table(record["rows"]))
+    print()
+    for method, stats in record["summary"].items():
+        print(
+            f"{method}: compiled {stats['median_query_latency_compiled_us']:.0f} us vs "
+            f"reference {stats['median_query_latency_reference_us']:.0f} us median "
+            f"-> {stats['speedup']:.2f}x speedup"
+        )
+    print(f"\nperf record written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Perf gate: the compiled engine must beat the reference on the example venue.
+
+Intended for CI/pre-merge use: runs the paper's running-example floorplan
+(Figure 1 / Table I) through both engines for ITG/S and ITG/A, compares
+median query latencies measured via :func:`repro.bench.harness.run_query_set`
+and exits non-zero when the compiled fast path is not strictly faster (or
+when the two engines disagree on any answer).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_perf.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.bench.harness import run_query_set  # noqa: E402
+from repro.core.engine import ITSPQEngine  # noqa: E402
+from repro.core.query import ITSPQuery  # noqa: E402
+from repro.datasets.example_floorplan import (  # noqa: E402
+    build_example_itgraph,
+    example_query_points,
+)
+
+METHODS = ("ITG/S", "ITG/A")
+QUERY_TIMES = ("6:30", "9:00", "12:00", "15:55", "21:00")
+
+
+def build_workload():
+    """Every ordered pair of the example query points at several times."""
+    points = example_query_points()
+    names = sorted(points)
+    return [
+        ITSPQuery(points[a], points[b], query_time)
+        for a in names
+        for b in names
+        if a != b
+        for query_time in QUERY_TIMES
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repetitions", type=int, default=10, help="measurement repetitions per query"
+    )
+    args = parser.parse_args(argv)
+
+    itgraph = build_example_itgraph()
+    reference = ITSPQEngine(itgraph, compiled=False)
+    compiled_engine = ITSPQEngine(itgraph, compiled=True)
+    compiled_engine.ensure_compiled()
+    queries = build_workload()
+
+    failures = []
+    for method in METHODS:
+        for query in queries:
+            ref = reference.run(query, method=method)
+            cmp = compiled_engine.run(query, method=method)
+            if ref.found != cmp.found or ref.length != cmp.length:
+                failures.append(f"{method}: engines disagree on {query}")
+
+        ref_measure = run_query_set(reference, queries, method, repetitions=args.repetitions)
+        cmp_measure = run_query_set(compiled_engine, queries, method, repetitions=args.repetitions)
+        speedup = ref_measure.p50_time_us / cmp_measure.p50_time_us
+        print(
+            f"{method}: compiled p50 {cmp_measure.p50_time_us:.1f} us vs "
+            f"reference p50 {ref_measure.p50_time_us:.1f} us -> {speedup:.2f}x"
+        )
+        if cmp_measure.p50_time_us >= ref_measure.p50_time_us:
+            failures.append(
+                f"{method}: compiled engine is not faster "
+                f"({cmp_measure.p50_time_us:.1f} us >= {ref_measure.p50_time_us:.1f} us)"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"PERF GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed: compiled engine is faster than the reference on the example venue")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

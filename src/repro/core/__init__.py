@@ -15,6 +15,10 @@ Contents
 :mod:`repro.core.engine`
     ``ITSPQ_ITGraph`` (Algorithm 1): the door-level Dijkstra that answers
     ITSPQ, in the two flavours the paper evaluates (ITG/S and ITG/A).
+:mod:`repro.core.compiled`
+    The integer-indexed compiled search index: dense ``DM`` arrays, flattened
+    adjacency, flat ATI boundary arrays and per-interval open-door bitsets,
+    powering the engine's default fast path (``compiled=True``).
 :mod:`repro.core.path` / :mod:`repro.core.query`
     Query and result value objects, including per-hop arrival times and
     re-validation of returned paths.
@@ -23,8 +27,9 @@ Contents
     as correctness oracles by the test-suite.
 """
 
+from repro.core.compiled import CompiledITGraph
 from repro.core.itgraph import DoorRecord, ITGraph, PartitionRecord, build_itgraph
-from repro.core.snapshot import GraphSnapshot, GraphUpdater
+from repro.core.snapshot import GraphSnapshot, GraphUpdater, IntervalBitsets
 from repro.core.tvcheck import (
     AsynchronousCheck,
     StaticCheck,
@@ -45,8 +50,10 @@ __all__ = [
     "DoorRecord",
     "PartitionRecord",
     "build_itgraph",
+    "CompiledITGraph",
     "GraphSnapshot",
     "GraphUpdater",
+    "IntervalBitsets",
     "TVCheckStrategy",
     "SynchronousCheck",
     "AsynchronousCheck",

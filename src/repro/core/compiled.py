@@ -1,0 +1,444 @@
+"""The compiled integer-indexed query core: an array-backed IT-Graph fast path.
+
+The reference engine (:mod:`repro.core.engine`, ``compiled=False``) is a
+faithful object-level transcription of Algorithm 1: every relaxation probes
+string-keyed dicts, every ``DM`` lookup allocates a ``frozenset`` pair key,
+and every temporal check builds a fresh
+:class:`~repro.temporal.timeofday.TimeOfDay`.  Those per-relaxation Python
+object costs dominate the millisecond budget the paper claims for ITSPQ.
+
+:class:`CompiledITGraph` removes them by lowering the IT-Graph once into flat
+integer-indexed arrays:
+
+* doors and partitions are interned to contiguous integer ids;
+* each partition's distance matrix ``DM`` becomes a dense row-major
+  ``array('d')`` — an O(1) offset lookup with no pair-key allocation;
+* the ``D2P⊢`` / ``P2D⊣`` adjacency used by the door-level Dijkstra is
+  flattened into prebuilt per-door lists of ``(partition, [(door, leg), …])``
+  groups, priced from the dense matrices at build time;
+* every door's ATI set is lowered to a flat sorted array of boundary seconds,
+  so a passability probe is a single ``bisect`` on a raw float; and
+* the snapshot layer's per-checkpoint-interval reductions become precomputed
+  open-door **bitsets** (:class:`~repro.core.snapshot.IntervalBitsets`), so
+  the ITG/A membership test is a flat ``flags[door]`` index test.
+
+The compiled structures preserve the *iteration order* the reference search
+would observe (the order of the topology's frozenset views), so the compiled
+Dijkstra settles nodes in exactly the same sequence and returns bit-identical
+paths, lengths and search statistics — the parity tests assert this.
+
+The four ``TV_Check`` instantiations have seconds-based counterparts here
+(:class:`CompiledSyncCheck`, :class:`CompiledAsyncCheck`,
+:class:`CompiledStaticCheck`, :class:`CompiledQueryTimeCheck`) that keep the
+paper's check-before-relax ordering and the reference strategies' counters.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.itgraph import ITGraph
+from repro.core.snapshot import CompiledSnapshotStore, IntervalBitsets
+from repro.exceptions import UnknownEntityError
+
+#: ``(next_door_index, intra-partition leg metres)``
+CompiledEdge = Tuple[int, float]
+#: ``(partition_index, partition_is_private, edges)``
+CompiledGroup = Tuple[int, bool, Tuple[CompiledEdge, ...]]
+
+_NAN = float("nan")
+
+
+class CompiledITGraph:
+    """The integer-indexed compiled form of one (immutable) IT-Graph.
+
+    Built once via :meth:`ITGraph.compiled` and shared by every engine that
+    queries the same graph.  All hot-loop state is indexed by the interned
+    door/partition ids; the original string identifiers are kept only for
+    path reconstruction and for the (cold) query-endpoint legs.
+    """
+
+    __slots__ = (
+        "itgraph",
+        "door_ids",
+        "door_index",
+        "partition_ids",
+        "partition_index",
+        "partition_private",
+        "partition_outdoor",
+        "dm_arrays",
+        "dm_locals",
+        "dm_sizes",
+        "adjacency",
+        "ati_bounds",
+        "interval_bitsets",
+        "door_x",
+        "door_y",
+        "door_floor",
+        "leaveable_by_partition",
+        "_locate_entries",
+    )
+
+    def __init__(self, itgraph: ITGraph):
+        self.itgraph = itgraph
+        topology = itgraph.topology
+
+        # -- interning ---------------------------------------------------------
+        self.door_ids: List[str] = itgraph.door_ids()
+        self.door_index: Dict[str, int] = {d: i for i, d in enumerate(self.door_ids)}
+        self.partition_ids: List[str] = itgraph.partition_ids()
+        self.partition_index: Dict[str, int] = {p: i for i, p in enumerate(self.partition_ids)}
+
+        self.partition_private: List[bool] = []
+        self.partition_outdoor: List[bool] = []
+        for partition_id in self.partition_ids:
+            record = itgraph.partition_record(partition_id)
+            self.partition_private.append(record.is_private)
+            self.partition_outdoor.append(record.is_outdoor)
+
+        # -- dense per-partition distance matrices -----------------------------
+        self.dm_arrays: List[array] = []
+        self.dm_locals: List[Dict[int, int]] = []
+        self.dm_sizes: List[int] = []
+        for partition_id in self.partition_ids:
+            matrix = itgraph.partition_record(partition_id).distance_matrix
+            member_ids = list(matrix.doors)
+            size = len(member_ids)
+            dense = array("d", [0.0]) * (size * size) if size else array("d")
+            for a, door_a in enumerate(member_ids):
+                base = a * size
+                for b, door_b in enumerate(member_ids):
+                    try:
+                        dense[base + b] = matrix.distance(door_a, door_b)
+                    except UnknownEntityError:
+                        dense[base + b] = _NAN
+            self.dm_arrays.append(dense)
+            self.dm_locals.append(
+                {self.door_index[door_id]: local for local, door_id in enumerate(member_ids)}
+            )
+            self.dm_sizes.append(size)
+
+        # -- flattened search adjacency ----------------------------------------
+        # The group order per door and the edge order per group deliberately
+        # follow the topology's frozenset iteration order: it is what the
+        # reference search iterates at query time, and matching it keeps heap
+        # tie-breaking (and therefore returned paths) bit-identical.
+        adjacency: List[Tuple[CompiledGroup, ...]] = []
+        for door_id in self.door_ids:
+            groups: List[CompiledGroup] = []
+            for partition_id in topology.enterable_partitions(door_id):
+                pidx = self.partition_index[partition_id]
+                if self.partition_outdoor[pidx]:
+                    continue
+                dense = self.dm_arrays[pidx]
+                local = self.dm_locals[pidx]
+                size = self.dm_sizes[pidx]
+                row = local.get(self.door_index[door_id])
+                edges: List[CompiledEdge] = []
+                if row is not None:
+                    base = row * size
+                    for next_door in topology.leaveable_doors(partition_id):
+                        if next_door == door_id:
+                            continue
+                        next_idx = self.door_index[next_door]
+                        column = local.get(next_idx)
+                        if column is None:
+                            continue
+                        leg = dense[base + column]
+                        if leg != leg:  # NaN: no intra-partition distance defined
+                            continue
+                        edges.append((next_idx, leg))
+                groups.append((pidx, self.partition_private[pidx], tuple(edges)))
+            adjacency.append(tuple(groups))
+        self.adjacency: Tuple[Tuple[CompiledGroup, ...], ...] = tuple(adjacency)
+
+        # -- flat temporal state -----------------------------------------------
+        self.ati_bounds: Tuple[Tuple[float, ...], ...] = tuple(
+            tuple(itgraph.door_record(door_id).atis.boundary_seconds())
+            for door_id in self.door_ids
+        )
+        self.interval_bitsets = IntervalBitsets(itgraph, self.door_ids)
+
+        # -- flat door geometry (query endpoint legs) --------------------------
+        self.door_x = array("d", [0.0]) * len(self.door_ids)
+        self.door_y = array("d", [0.0]) * len(self.door_ids)
+        self.door_floor: List[int] = [0] * len(self.door_ids)
+        for index, door_id in enumerate(self.door_ids):
+            position = itgraph.door_record(door_id).position
+            self.door_x[index] = position.x
+            self.door_y[index] = position.y
+            self.door_floor[index] = position.floor
+
+        # ``P2D⊣`` lowered to index lists (same frozenset iteration order the
+        # reference search observes when expanding the source partition).
+        self.leaveable_by_partition: List[Tuple[int, ...]] = [
+            tuple(self.door_index[door_id] for door_id in topology.leaveable_doors(partition_id))
+            for partition_id in self.partition_ids
+        ]
+
+        # -- compiled point location -------------------------------------------
+        # Same first-match-in-insertion-order semantics as ``IndoorSpace.locate``
+        # but bucketed per floor with a flat bbox prefilter, so most partitions
+        # are rejected without any method call.  Bucketing preserves the
+        # insertion order within each floor (a point has exactly one floor, so
+        # the first bucketed match is the first global match), and the bbox
+        # test uses the same 1e-9 tolerance as the polygon containment tests,
+        # so it never rejects a partition the exact test would accept.
+        locate_by_floor: Dict[int, List[Tuple[float, float, float, float, object, int]]] = {}
+        for partition in itgraph.space.iter_partitions():
+            if partition.polygon is None:
+                continue
+            if partition.spans_floors is not None:
+                floor_low, floor_high = partition.spans_floors
+            else:
+                floor_low = floor_high = partition.floor
+            box = partition.polygon.bounding_box
+            entry = (
+                box.min_x - 1e-9,
+                box.max_x + 1e-9,
+                box.min_y - 1e-9,
+                box.max_y + 1e-9,
+                partition.contains_point,
+                self.partition_index[partition.partition_id],
+            )
+            for floor in range(floor_low, floor_high + 1):
+                locate_by_floor.setdefault(floor, []).append(entry)
+        self._locate_entries = {floor: tuple(rows) for floor, rows in locate_by_floor.items()}
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def door_count(self) -> int:
+        """Number of interned doors."""
+        return len(self.door_ids)
+
+    @property
+    def partition_count(self) -> int:
+        """Number of interned partitions."""
+        return len(self.partition_ids)
+
+    def intra_distance_idx(self, partition_idx: int, door_a_idx: int, door_b_idx: int) -> float:
+        """``DM`` lookup by integer ids: O(1) dense-array offset, no allocation.
+
+        Raises
+        ------
+        UnknownEntityError
+            If either door does not belong to the partition or the distance
+            is undefined (cross-floor pair without a stairway override).
+        """
+        local = self.dm_locals[partition_idx]
+        try:
+            row = local[door_a_idx]
+            column = local[door_b_idx]
+        except KeyError as exc:
+            raise UnknownEntityError(
+                f"door index {exc.args[0]} is not a door of partition "
+                f"{self.partition_ids[partition_idx]!r}"
+            ) from exc
+        value = self.dm_arrays[partition_idx][row * self.dm_sizes[partition_idx] + column]
+        if value != value:
+            raise UnknownEntityError(
+                f"no intra-partition distance between doors "
+                f"{self.door_ids[door_a_idx]!r} and {self.door_ids[door_b_idx]!r}"
+            )
+        return value
+
+    def door_open_at_seconds(self, door_idx: int, instant_seconds: float) -> bool:
+        """Flat-array passability probe: one ``bisect`` on raw floats."""
+        return bisect_right(self.ati_bounds[door_idx], instant_seconds) & 1 == 1
+
+    def locate_index(self, point) -> int:
+        """Partition index covering ``point`` — compiled ``P(p)``.
+
+        First-match-in-insertion-order, exactly like
+        :meth:`~repro.indoor.space.IndoorSpace.locate`; the flat floor/bbox
+        prefilter only skips partitions the exact containment test would
+        reject anyway.
+
+        Raises
+        ------
+        UnknownEntityError
+            If no partition covers the point.
+        """
+        x = point.x
+        y = point.y
+        for min_x, max_x, min_y, max_y, contains_point, pidx in self._locate_entries.get(
+            point.floor, ()
+        ):
+            if min_x <= x <= max_x and min_y <= y <= max_y and contains_point(point):
+                return pidx
+        raise UnknownEntityError(f"no partition covers point {point!r}")
+
+    def memory_bytes(self) -> int:
+        """Approximate payload size of the compiled arrays (for reports)."""
+        dm_bytes = sum(dense.itemsize * len(dense) for dense in self.dm_arrays)
+        ati_bytes = sum(8 * len(bounds) for bounds in self.ati_bounds)
+        edge_bytes = sum(
+            16 * len(edges) for groups in self.adjacency for _, _, edges in groups
+        )
+        return dm_bytes + ati_bytes + edge_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledITGraph({self.partition_count} partitions, {self.door_count} doors, "
+            f"{self.interval_bitsets.interval_count} intervals)"
+        )
+
+
+class _CompiledCheckBase:
+    """Shared counter plumbing of the compiled ``TV_Check`` variants.
+
+    The compiled checks speak integers and seconds: ``passable(door_idx,
+    distance_from_source)`` answers whether the door can be crossed by a
+    traveller who left the source at the ``begin``-time and has walked the
+    given distance.  Counters mirror the reference strategies exactly so the
+    merged :class:`~repro.core.query.SearchStatistics` stay bit-identical.
+    """
+
+    __slots__ = ("ati_probes", "snapshot_refreshes", "membership_checks")
+
+    method_label = "abstract"
+
+    def __init__(self) -> None:
+        self.ati_probes = 0
+        self.snapshot_refreshes = 0
+        self.membership_checks = 0
+
+    def begin(self, query_seconds: float) -> None:
+        """Reset per-query state; called once before each compiled search."""
+        self.ati_probes = 0
+        self.snapshot_refreshes = 0
+        self.membership_checks = 0
+
+    def counters(self) -> Dict[str, int]:
+        """Counter snapshot in the reference strategies' format."""
+        return {
+            "ati_probes": self.ati_probes,
+            "snapshot_refreshes": self.snapshot_refreshes,
+            "membership_checks": self.membership_checks,
+        }
+
+
+class CompiledSyncCheck(_CompiledCheckBase):
+    """``Syn_Check`` on flat arrays: arrival seconds + one boundary bisect."""
+
+    __slots__ = ("_bounds", "_speed", "_query_seconds")
+
+    method_label = "ITG/S"
+
+    def __init__(self, compiled: CompiledITGraph, walking_speed: float):
+        super().__init__()
+        self._bounds = compiled.ati_bounds
+        self._speed = walking_speed
+        self._query_seconds = 0.0
+
+    def begin(self, query_seconds: float) -> None:
+        super().begin(query_seconds)
+        self._query_seconds = query_seconds
+
+    def passable(self, door_idx: int, distance_from_source: float) -> bool:
+        self.ati_probes += 1
+        t_arr = self._query_seconds + distance_from_source / self._speed
+        return bisect_right(self._bounds[door_idx], t_arr) & 1 == 1
+
+
+class CompiledAsyncCheck(_CompiledCheckBase):
+    """``Asyn_Check`` on bitsets: lazily advanced interval + index test.
+
+    Mirrors :class:`~repro.core.tvcheck.AsynchronousCheck` move for move —
+    in-interval arrivals are answered from the current bitset, arrivals past
+    the interval end advance the interval (one refresh), and out-of-order
+    arrivals before the interval fall back to a direct boundary-array probe.
+    """
+
+    __slots__ = ("_bounds", "_speed", "_store", "_query_seconds", "_start", "_end", "_bits")
+
+    method_label = "ITG/A"
+
+    def __init__(
+        self,
+        compiled: CompiledITGraph,
+        store: CompiledSnapshotStore,
+        walking_speed: float,
+    ):
+        super().__init__()
+        self._bounds = compiled.ati_bounds
+        self._speed = walking_speed
+        self._store = store
+        self._query_seconds = 0.0
+        self._start = 0.0
+        self._end = math.inf
+        self._bits = b""
+
+    def begin(self, query_seconds: float) -> None:
+        super().begin(query_seconds)
+        self._query_seconds = query_seconds
+        self._start, self._end, self._bits = self._store.interval_at(query_seconds)
+        self.snapshot_refreshes += 1
+
+    def passable(self, door_idx: int, distance_from_source: float) -> bool:
+        t_arr = self._query_seconds + distance_from_source / self._speed
+        if self._start <= t_arr < self._end:
+            self.membership_checks += 1
+            return self._bits[door_idx] == 1
+        if t_arr >= self._end:
+            self._start, self._end, self._bits = self._store.interval_at(t_arr)
+            self.snapshot_refreshes += 1
+            self.membership_checks += 1
+            return self._bits[door_idx] == 1
+        self.ati_probes += 1
+        return bisect_right(self._bounds[door_idx], t_arr) & 1 == 1
+
+
+class CompiledStaticCheck(_CompiledCheckBase):
+    """Temporal-unaware check: every door passes (membership counted)."""
+
+    __slots__ = ()
+
+    method_label = "static"
+
+    def passable(self, door_idx: int, distance_from_source: float) -> bool:
+        self.membership_checks += 1
+        return True
+
+
+class CompiledQueryTimeCheck(_CompiledCheckBase):
+    """Approximate check probing ATIs at the query time, not the arrival."""
+
+    __slots__ = ("_bounds", "_query_seconds")
+
+    method_label = "query-time-snapshot"
+
+    def __init__(self, compiled: CompiledITGraph):
+        super().__init__()
+        self._bounds = compiled.ati_bounds
+        self._query_seconds = 0.0
+
+    def begin(self, query_seconds: float) -> None:
+        super().begin(query_seconds)
+        self._query_seconds = query_seconds
+
+    def passable(self, door_idx: int, distance_from_source: float) -> bool:
+        self.ati_probes += 1
+        return bisect_right(self._bounds[door_idx], self._query_seconds) & 1 == 1
+
+
+def make_compiled_check(
+    method: str,
+    compiled: CompiledITGraph,
+    store: CompiledSnapshotStore,
+    walking_speed: float,
+):
+    """Factory mapping canonical method names to compiled check instances."""
+    if method == "synchronous":
+        return CompiledSyncCheck(compiled, walking_speed)
+    if method == "asynchronous":
+        return CompiledAsyncCheck(compiled, store, walking_speed)
+    if method == "static":
+        return CompiledStaticCheck()
+    if method == "query-time":
+        return CompiledQueryTimeCheck(compiled)
+    raise ValueError(f"unknown TV-check method {method!r}")

@@ -32,14 +32,17 @@ import enum
 import heapq
 import itertools
 import time
+from bisect import bisect_right
+from math import hypot
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.constants import WALKING_SPEED_MPS
+from repro.core.compiled import CompiledITGraph
 from repro.core.itgraph import ITGraph
 from repro.core.path import IndoorPath, PathHop
 from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
-from repro.core.snapshot import GraphUpdater
-from repro.core.tvcheck import TVCheckStrategy, make_strategy
+from repro.core.snapshot import CompiledSnapshotStore, GraphUpdater
+from repro.core.tvcheck import TVCheckStrategy, canonical_method, make_strategy
 from repro.exceptions import QueryError, UnknownEntityError
 from repro.geometry.point import IndoorPoint
 from repro.temporal.timeofday import TimeLike, TimeOfDay, as_time_of_day
@@ -93,6 +96,7 @@ class ITSPQEngine:
         itgraph: ITGraph,
         walking_speed: float = WALKING_SPEED_MPS,
         partition_once: bool = False,
+        compiled: bool = True,
     ):
         if walking_speed <= 0:
             raise ValueError(f"walking speed must be positive, got {walking_speed}")
@@ -100,6 +104,14 @@ class ITSPQEngine:
         self._walking_speed = walking_speed
         self._partition_once = partition_once
         self._updater = GraphUpdater(itgraph)
+        # The compiled fast path answers the four built-in methods over the
+        # interned integer-indexed graph; ``compiled=False`` keeps the
+        # object-level reference search, which parity tests and custom
+        # strategies rely on.  ``partition_once`` always uses the reference
+        # search (it is the literal-Algorithm-1 study mode, not a hot path).
+        self._compiled_enabled = compiled and not partition_once
+        self._compiled_graph: Optional[CompiledITGraph] = None
+        self._compiled_store: Optional[CompiledSnapshotStore] = None
 
     # -- public API ------------------------------------------------------------------
 
@@ -117,6 +129,23 @@ class ITSPQEngine:
     def partition_once(self) -> bool:
         """Whether the literal Algorithm 1 partition-visited pruning is active."""
         return self._partition_once
+
+    @property
+    def compiled(self) -> bool:
+        """Whether the integer-indexed compiled fast path is enabled."""
+        return self._compiled_enabled
+
+    def ensure_compiled(self) -> CompiledITGraph:
+        """Force the (otherwise lazy) compiled index build and return it.
+
+        Benchmarks call this before timing so that index construction — an
+        offline cost like ``build_itgraph`` itself — never pollutes the first
+        measured query.
+        """
+        if self._compiled_graph is None:
+            self._compiled_graph = self._itgraph.compiled()
+            self._compiled_store = self._compiled_graph.interval_bitsets.store()
+        return self._compiled_graph
 
     def query(
         self,
@@ -151,11 +180,23 @@ class ITSPQEngine:
         method: MethodLike = CheckMethod.SYNCHRONOUS,
         strategy: Optional[TVCheckStrategy] = None,
     ) -> QueryResult:
-        """Answer a pre-built :class:`~repro.core.query.ITSPQuery`."""
+        """Answer a pre-built :class:`~repro.core.query.ITSPQuery`.
+
+        With the compiled fast path enabled (the default) the four built-in
+        methods run as an integer-label Dijkstra over the compiled index and
+        return bit-identical results to the reference search; an explicit
+        ``strategy`` always runs the reference search, since arbitrary
+        strategies cannot be lowered.
+        """
         if strategy is None:
-            strategy = make_strategy(
-                _normalise_method(method), self._itgraph, self._updater, self._walking_speed
-            )
+            method_name = canonical_method(_normalise_method(method))
+            if self._compiled_enabled:
+                self.ensure_compiled()
+                started = time.perf_counter()
+                result = self._search_compiled(itsp_query, method_name)
+                result.statistics.runtime_seconds = time.perf_counter() - started
+                return result
+            strategy = make_strategy(method_name, self._itgraph, self._updater, self._walking_speed)
         started = time.perf_counter()
         result = self._search(itsp_query, strategy)
         result.statistics.runtime_seconds = time.perf_counter() - started
@@ -284,6 +325,370 @@ class ITSPQEngine:
             path=None,
             length=_INFINITY,
             statistics=stats,
+        )
+
+    # -- the compiled search (integer-label fast path) ---------------------------------------
+
+    #: canonical method name -> (dispatch kind, paper label); the kinds index
+    #: the inline TV-check branches of :meth:`_search_compiled`.
+    _COMPILED_KINDS = {
+        "synchronous": (0, "ITG/S"),
+        "asynchronous": (1, "ITG/A"),
+        "static": (2, "static"),
+        "query-time": (3, "query-time-snapshot"),
+    }
+
+    def _search_compiled(self, itsp_query: ITSPQuery, method_name: str) -> QueryResult:
+        """Algorithm 1 over the compiled integer-indexed graph.
+
+        Same semantics, same counters, same tie-breaking as :meth:`_search` —
+        the compiled adjacency preserves the reference search's iteration
+        order, so results (paths, lengths, statistics) are bit-identical.
+        The hot loop touches only list-indexed floats and ints: no string
+        dict probes, no ``frozenset`` views, no ``TimeOfDay`` allocations.
+
+        The four TV checks are inlined (rather than dispatched through the
+        :mod:`repro.core.compiled` check classes, which stay the reusable
+        standalone API) so that a relaxation costs one branch plus one
+        ``bisect``/bit test.  The check-before-relax ordering of Algorithm 1
+        is preserved in every branch.
+        """
+        compiled_graph = self._compiled_graph
+        stats = SearchStatistics()
+
+        try:
+            source_pidx = compiled_graph.locate_index(itsp_query.source)
+            target_pidx = compiled_graph.locate_index(itsp_query.target)
+        except UnknownEntityError as exc:
+            raise QueryError(f"query endpoint outside the indoor space: {exc}") from exc
+
+        allowed_private = {source_pidx, target_pidx}
+        kind, method_label = self._COMPILED_KINDS[method_name]
+
+        query_seconds = itsp_query.query_time.seconds
+        speed = self._walking_speed
+        bounds = compiled_graph.ati_bounds
+        ati_probes = 0
+        snapshot_refreshes = 0
+        membership_checks = 0
+        interval_at = None
+        cur_start = cur_end = 0.0
+        cur_bits = b""
+        if kind == 1:
+            interval_at = self._compiled_store.interval_at
+            cur_start, cur_end, cur_bits = interval_at(query_seconds)
+            snapshot_refreshes = 1
+
+        door_count = compiled_graph.door_count
+        source_node = door_count
+        target_node = door_count + 1
+        dist: List[float] = [_INFINITY] * (door_count + 2)
+        dist[source_node] = 0.0
+        prev_node: List[int] = [-1] * (door_count + 2)
+        prev_part: List[int] = [-1] * (door_count + 2)
+        settled = bytearray(door_count + 2)
+        adjacency = compiled_graph.adjacency
+        door_x = compiled_graph.door_x
+        door_y = compiled_graph.door_y
+        door_floor = compiled_graph.door_floor
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        source_point = itsp_query.source
+        target_point = itsp_query.target
+        source_x, source_y, source_floor = source_point.x, source_point.y, source_point.floor
+        target_x, target_y, target_floor = target_point.x, target_point.y, target_point.floor
+
+        heap: List[Tuple[float, int, int]] = [(0.0, 0, source_node)]
+        tie = 1
+        heap_pushes = 1
+        heap_pops = 0
+        heap_size = 1
+        peak_heap = 0
+        doors_settled = 0
+        relaxations = 0
+        partitions_expanded = 0
+        private_pruned = 0
+        temporally_pruned = 0
+
+        # A door-free direct path when both endpoints share a partition.
+        if source_pidx == target_pidx and source_floor == target_floor:
+            direct = hypot(source_x - target_x, source_y - target_y)
+            dist[target_node] = direct
+            prev_node[target_node] = source_node
+            prev_part[target_node] = source_pidx
+            heappush(heap, (direct, tie, target_node))
+            tie += 1
+            heap_pushes += 1
+            heap_size += 1
+            if heap_size > peak_heap:
+                peak_heap = heap_size
+
+        found_distance = _INFINITY
+        found = False
+        while heap:
+            distance, _, node = heappop(heap)
+            heap_pops += 1
+            heap_size -= 1
+            if settled[node] or distance > dist[node]:
+                continue
+            settled[node] = 1
+
+            if node == target_node:
+                found = True
+                found_distance = distance
+                break
+
+            if node == source_node:
+                partitions_expanded += 1
+                for door_idx in compiled_graph.leaveable_by_partition[source_pidx]:
+                    if door_floor[door_idx] != source_floor:
+                        continue
+                    leg = hypot(source_x - door_x[door_idx], source_y - door_y[door_idx])
+                    relaxations += 1
+                    # Inline TV check (see the class docstrings in
+                    # repro.core.compiled for the per-method semantics).  The
+                    # per-probe counters of the non-async kinds are derived
+                    # after the search: they always equal ``relaxations``.
+                    if kind == 0:
+                        open_now = bisect_right(bounds[door_idx], query_seconds + leg / speed) & 1
+                    elif kind == 1:
+                        t_arr = query_seconds + leg / speed
+                        if cur_start <= t_arr < cur_end:
+                            membership_checks += 1
+                            open_now = cur_bits[door_idx]
+                        elif t_arr >= cur_end:
+                            cur_start, cur_end, cur_bits = interval_at(t_arr)
+                            snapshot_refreshes += 1
+                            membership_checks += 1
+                            open_now = cur_bits[door_idx]
+                        else:
+                            ati_probes += 1
+                            open_now = bisect_right(bounds[door_idx], t_arr) & 1
+                    elif kind == 2:
+                        open_now = 1
+                    else:
+                        open_now = bisect_right(bounds[door_idx], query_seconds) & 1
+                    if not open_now:
+                        temporally_pruned += 1
+                        continue
+                    if leg < dist[door_idx]:
+                        dist[door_idx] = leg
+                        prev_node[door_idx] = source_node
+                        prev_part[door_idx] = source_pidx
+                        heappush(heap, (leg, tie, door_idx))
+                        tie += 1
+                        heap_pushes += 1
+                        heap_size += 1
+                        if heap_size > peak_heap:
+                            peak_heap = heap_size
+                continue
+
+            # ``node`` is a door with a settled (shortest) distance label.
+            doors_settled += 1
+            door_distance = dist[node]
+            for partition_idx, is_private, edges in adjacency[node]:
+                if is_private and partition_idx not in allowed_private:
+                    private_pruned += 1
+                    continue
+                partitions_expanded += 1
+
+                if partition_idx == target_pidx and door_floor[node] == target_floor:
+                    candidate = door_distance + hypot(
+                        target_x - door_x[node], target_y - door_y[node]
+                    )
+                    if candidate < dist[target_node]:
+                        dist[target_node] = candidate
+                        prev_node[target_node] = node
+                        prev_part[target_node] = partition_idx
+                        heappush(heap, (candidate, tie, target_node))
+                        tie += 1
+                        heap_pushes += 1
+                        heap_size += 1
+                        if heap_size > peak_heap:
+                            peak_heap = heap_size
+
+                # The edge loop is specialised per TV-check kind so that the
+                # hottest path (ITG/S) pays exactly one bisect per relaxation
+                # and no per-edge dispatch.  All variants keep the reference
+                # search's check-before-relax ordering (Algorithm 1).
+                if kind == 0:
+                    for next_idx, leg in edges:
+                        if settled[next_idx]:
+                            continue
+                        candidate = door_distance + leg
+                        relaxations += 1
+                        if not bisect_right(bounds[next_idx], query_seconds + candidate / speed) & 1:
+                            temporally_pruned += 1
+                            continue
+                        if candidate < dist[next_idx]:
+                            dist[next_idx] = candidate
+                            prev_node[next_idx] = node
+                            prev_part[next_idx] = partition_idx
+                            heappush(heap, (candidate, tie, next_idx))
+                            tie += 1
+                            heap_pushes += 1
+                            heap_size += 1
+                            if heap_size > peak_heap:
+                                peak_heap = heap_size
+                elif kind == 1:
+                    for next_idx, leg in edges:
+                        if settled[next_idx]:
+                            continue
+                        candidate = door_distance + leg
+                        relaxations += 1
+                        t_arr = query_seconds + candidate / speed
+                        if cur_start <= t_arr < cur_end:
+                            membership_checks += 1
+                            open_now = cur_bits[next_idx]
+                        elif t_arr >= cur_end:
+                            cur_start, cur_end, cur_bits = interval_at(t_arr)
+                            snapshot_refreshes += 1
+                            membership_checks += 1
+                            open_now = cur_bits[next_idx]
+                        else:
+                            ati_probes += 1
+                            open_now = bisect_right(bounds[next_idx], t_arr) & 1
+                        if not open_now:
+                            temporally_pruned += 1
+                            continue
+                        if candidate < dist[next_idx]:
+                            dist[next_idx] = candidate
+                            prev_node[next_idx] = node
+                            prev_part[next_idx] = partition_idx
+                            heappush(heap, (candidate, tie, next_idx))
+                            tie += 1
+                            heap_pushes += 1
+                            heap_size += 1
+                            if heap_size > peak_heap:
+                                peak_heap = heap_size
+                elif kind == 2:
+                    for next_idx, leg in edges:
+                        if settled[next_idx]:
+                            continue
+                        candidate = door_distance + leg
+                        relaxations += 1
+                        if candidate < dist[next_idx]:
+                            dist[next_idx] = candidate
+                            prev_node[next_idx] = node
+                            prev_part[next_idx] = partition_idx
+                            heappush(heap, (candidate, tie, next_idx))
+                            tie += 1
+                            heap_pushes += 1
+                            heap_size += 1
+                            if heap_size > peak_heap:
+                                peak_heap = heap_size
+                else:
+                    for next_idx, leg in edges:
+                        if settled[next_idx]:
+                            continue
+                        candidate = door_distance + leg
+                        relaxations += 1
+                        if not bisect_right(bounds[next_idx], query_seconds) & 1:
+                            temporally_pruned += 1
+                            continue
+                        if candidate < dist[next_idx]:
+                            dist[next_idx] = candidate
+                            prev_node[next_idx] = node
+                            prev_part[next_idx] = partition_idx
+                            heappush(heap, (candidate, tie, next_idx))
+                            tie += 1
+                            heap_pushes += 1
+                            heap_size += 1
+                            if heap_size > peak_heap:
+                                peak_heap = heap_size
+
+        # The per-probe counters of the non-async checks are exact functions
+        # of the relaxation count (one probe per relaxation, by construction
+        # of the reference strategies), so they are derived rather than
+        # incremented inside the hot loop.
+        if kind == 0 or kind == 3:
+            ati_probes = relaxations
+        elif kind == 2:
+            membership_checks = relaxations
+
+        stats.heap_pushes = heap_pushes
+        stats.heap_pops = heap_pops
+        stats.peak_heap_size = peak_heap
+        stats.doors_settled = doors_settled
+        stats.relaxations = relaxations
+        stats.partitions_expanded = partitions_expanded
+        stats.private_partitions_pruned = private_pruned
+        stats.temporally_pruned_doors = temporally_pruned
+        stats.ati_probes = ati_probes
+        stats.snapshot_refreshes = snapshot_refreshes
+        stats.membership_checks = membership_checks
+
+        if not found:
+            return QueryResult(
+                query=itsp_query,
+                method_label=method_label,
+                found=False,
+                path=None,
+                length=_INFINITY,
+                statistics=stats,
+            )
+
+        path = self._reconstruct_compiled(
+            itsp_query, dist, prev_node, prev_part, source_node, target_node, method_label
+        )
+        return QueryResult(
+            query=itsp_query,
+            method_label=method_label,
+            found=True,
+            path=path,
+            length=found_distance,
+            statistics=stats,
+        )
+
+    def _reconstruct_compiled(
+        self,
+        itsp_query: ITSPQuery,
+        dist: List[float],
+        prev_node: List[int],
+        prev_part: List[int],
+        source_node: int,
+        target_node: int,
+        method_label: str,
+    ) -> IndoorPath:
+        """Integer-label twin of :meth:`_reconstruct` (same hops, same floats)."""
+        compiled_graph = self._compiled_graph
+        door_ids = compiled_graph.door_ids
+        partition_ids = compiled_graph.partition_ids
+        query_seconds = itsp_query.query_time.seconds
+        speed = self._walking_speed
+        from_seconds = TimeOfDay._from_seconds_unchecked
+
+        chain: List[Tuple[int, int]] = []
+        node = target_node
+        while node != source_node:
+            chain.append((node, prev_part[node]))
+            node = prev_node[node]
+        chain.reverse()
+
+        hops: List[PathHop] = []
+        for index, (node, via_partition) in enumerate(chain):
+            if node == target_node:
+                break
+            next_via = chain[index + 1][1]
+            arrival = from_seconds(query_seconds + dist[node] / speed)
+            hops.append(
+                PathHop(
+                    door_ids[node],
+                    partition_ids[via_partition],
+                    partition_ids[next_via],
+                    dist[node],
+                    arrival,
+                )
+            )
+
+        return IndoorPath(
+            source=itsp_query.source,
+            target=itsp_query.target,
+            query_time=itsp_query.query_time,
+            hops=hops,
+            total_length=dist[target_node],
+            method_label=method_label,
         )
 
     # -- expansion helpers ---------------------------------------------------------------------

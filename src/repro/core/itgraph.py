@@ -18,8 +18,9 @@ thereafter; the asynchronous method derives reduced *snapshots* from it (see
 
 from __future__ import annotations
 
+import types
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import UnknownEntityError
 from repro.geometry.point import IndoorPoint
@@ -31,6 +32,14 @@ from repro.temporal.atis import ATISet
 from repro.temporal.checkpoints import CheckpointSet
 from repro.temporal.schedule import DoorSchedule
 from repro.temporal.timeofday import TimeLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.compiled import CompiledITGraph
+
+#: The ``[0:00, 24:00)`` ATI set shared by every door without temporal
+#: variation — built once so that ``has_temporal_variation`` is a plain
+#: comparison rather than a per-call interval construction.
+ALWAYS_OPEN_ATIS = ATISet.always_open()
 
 
 @dataclass(frozen=True)
@@ -45,8 +54,7 @@ class DoorRecord:
     @property
     def has_temporal_variation(self) -> bool:
         """``True`` unless the door is open around the clock."""
-        always = ATISet.always_open()
-        return self.atis != always
+        return self.atis != ALWAYS_OPEN_ATIS
 
     def is_open(self, instant: TimeLike) -> bool:
         """Return ``True`` when the door is open at ``instant``."""
@@ -91,8 +99,11 @@ class ITGraph:
         self._space = space
         self._door_table = dict(door_table)
         self._partition_table = dict(partition_table)
+        self._door_table_view = types.MappingProxyType(self._door_table)
+        self._partition_table_view = types.MappingProxyType(self._partition_table)
         self._checkpoints = checkpoints
         self._topology = space.topology
+        self._compiled: Optional["CompiledITGraph"] = None
 
     # -- basic accessors --------------------------------------------------------
 
@@ -112,14 +123,26 @@ class ITGraph:
         return self._checkpoints
 
     @property
-    def door_table(self) -> Dict[str, DoorRecord]:
-        """The door table ``L_E`` keyed by door identifier."""
-        return dict(self._door_table)
+    def door_table(self) -> Mapping[str, DoorRecord]:
+        """The door table ``L_E`` keyed by door identifier (read-only view)."""
+        return self._door_table_view
 
     @property
-    def partition_table(self) -> Dict[str, PartitionRecord]:
-        """The partition table ``L_V`` keyed by partition identifier."""
-        return dict(self._partition_table)
+    def partition_table(self) -> Mapping[str, PartitionRecord]:
+        """The partition table ``L_V`` keyed by partition identifier (read-only view)."""
+        return self._partition_table_view
+
+    def compiled(self) -> "CompiledITGraph":
+        """The integer-indexed compiled form of this graph, built lazily once.
+
+        The IT-Graph is immutable, so the compiled index can be shared by
+        every engine querying the same graph.
+        """
+        if self._compiled is None:
+            from repro.core.compiled import CompiledITGraph
+
+            self._compiled = CompiledITGraph(self)
+        return self._compiled
 
     def door_ids(self) -> List[str]:
         """All door identifiers (``π_D(E)`` in the paper)."""

@@ -10,9 +10,11 @@ checkpoint interval instead of one ATI probe per encountered door.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.constants import SECONDS_PER_DAY
 from repro.core.itgraph import ITGraph
 from repro.indoor.topology import Topology
 from repro.temporal.interval import TimeInterval
@@ -148,3 +150,85 @@ class GraphUpdater:
             f"GraphUpdater({self._itgraph!r}, cached={len(self._cache)}, "
             f"updates={self._updates_performed})"
         )
+
+
+class IntervalBitsets:
+    """Precomputed per-checkpoint-interval open-door bitsets.
+
+    This is the compiled counterpart of :class:`GraphUpdater`: instead of a
+    reduced :class:`~repro.indoor.topology.Topology` per interval, it stores
+    one ``bytes`` flag array per interval whose entry ``i`` is ``1`` when
+    door ``i`` (in the compiled door numbering) is open throughout the
+    interval.  The ITG/A membership test ``door_available(d)`` then lowers
+    to ``flags[i]`` — a true O(1) index test with no set probing and no
+    big-integer shifting, regardless of venue size.
+
+    The candidate interval starts are midnight plus every checkpoint, exactly
+    the keys :meth:`GraphUpdater.graph_update` can cache under.
+    """
+
+    __slots__ = ("_starts", "_bitsets")
+
+    def __init__(self, itgraph: ITGraph, door_ids: Sequence[str]):
+        checkpoint_seconds = [t.seconds for t in itgraph.checkpoints.times]
+        starts = sorted({0.0, *checkpoint_seconds})
+        atis_by_index = [itgraph.door_record(door_id).atis for door_id in door_ids]
+        bitsets: List[bytes] = [
+            bytes(1 if atis.contains_seconds(start) else 0 for atis in atis_by_index)
+            for start in starts
+        ]
+        self._starts = starts
+        self._bitsets = bitsets
+
+    @property
+    def starts(self) -> List[float]:
+        """The interval start instants in increasing order (seconds)."""
+        return list(self._starts)
+
+    @property
+    def interval_count(self) -> int:
+        """Number of distinct constant-topology intervals."""
+        return len(self._starts)
+
+    def bitset_at(self, instant_seconds: float) -> bytes:
+        """The open-door flag array in force at ``instant_seconds``."""
+        index = bisect.bisect_right(self._starts, instant_seconds) - 1
+        return self._bitsets[max(index, 0)]
+
+    def store(self) -> "CompiledSnapshotStore":
+        """A fresh per-engine view over these bitsets (see the store's docs)."""
+        return CompiledSnapshotStore(self)
+
+
+class CompiledSnapshotStore:
+    """Per-engine interval lookup over shared :class:`IntervalBitsets`.
+
+    The bitsets themselves are immutable and shared, but the *end* of the
+    interval past the last checkpoint mirrors
+    :meth:`~repro.temporal.checkpoints.CheckpointSet.interval_containing`:
+    it is pinned by the first instant that materialises that interval, just
+    as :class:`GraphUpdater` caches the snapshot built at first access.
+    Keeping that cache per engine keeps the compiled ITG/A refresh counters
+    bit-identical to the reference strategy's.
+    """
+
+    __slots__ = ("_bitsets", "_starts", "_tail_end")
+
+    def __init__(self, bitsets: IntervalBitsets):
+        self._bitsets = bitsets._bitsets
+        self._starts = bitsets._starts
+        self._tail_end: Optional[float] = None
+
+    def interval_at(self, instant_seconds: float) -> Tuple[float, float, bytes]:
+        """``(start, end, open_bits)`` of the interval containing the instant."""
+        starts = self._starts
+        index = bisect.bisect_right(starts, instant_seconds) - 1
+        if index < 0:
+            index = 0
+        if index + 1 < len(starts):
+            end = starts[index + 1]
+        else:
+            if self._tail_end is None:
+                self._tail_end = max(float(SECONDS_PER_DAY), instant_seconds) + SECONDS_PER_DAY
+            end = self._tail_end
+        return starts[index], end, self._bitsets[index]

@@ -102,15 +102,19 @@ class SynchronousCheck(TVCheckStrategy):
 
     Every call performs one binary search in the door's ATI array; the cost of
     a query therefore scales with the number of relaxations times the (small)
-    logarithm of the ATI count.
+    logarithm of the ATI count.  The probe stays in float seconds throughout
+    (:meth:`~repro.temporal.atis.ATISet.contains_seconds`) — no ``TimeOfDay``
+    is allocated per check.
     """
 
     method_label = "ITG/S"
 
     def is_passable(self, door_id: str, distance_from_source: float, query_time: TimeOfDay) -> bool:
-        t_arr = self.arrival_time(query_time, distance_from_source)
+        t_arr_seconds = (
+            as_time_of_day(query_time).seconds + distance_from_source / self._walking_speed
+        )
         self.ati_probes += 1
-        return self._itgraph.door_record(door_id).atis.contains(t_arr)
+        return self._itgraph.door_record(door_id).atis.contains_seconds(t_arr_seconds)
 
 
 class AsynchronousCheck(TVCheckStrategy):
@@ -218,6 +222,32 @@ class QueryTimeCheck(TVCheckStrategy):
         return self._itgraph.door_record(door_id).atis.contains(query_time)
 
 
+#: Accepted aliases per canonical TV-check method name.
+_METHOD_ALIASES = {
+    "synchronous": ("synchronous", "syn", "itg/s", "itgs", "s"),
+    "asynchronous": ("asynchronous", "asyn", "itg/a", "itga", "a"),
+    "static": ("static", "none", "ignore-time"),
+    "query-time": ("query-time", "query_time", "snapshot-at-query-time"),
+}
+
+_ALIAS_TO_CANONICAL = {
+    alias: canonical for canonical, aliases in _METHOD_ALIASES.items() for alias in aliases
+}
+
+
+def canonical_method(method: str) -> str:
+    """Normalise a method name/alias to its canonical form.
+
+    Shared by :func:`make_strategy` and the engine's compiled-path dispatch so
+    both resolve (and reject) method names identically.
+    """
+    normalised = method.strip().lower()
+    try:
+        return _ALIAS_TO_CANONICAL[normalised]
+    except KeyError:
+        raise ValueError(f"unknown TV-check method {method!r}") from None
+
+
 def make_strategy(
     method: str,
     itgraph: ITGraph,
@@ -230,13 +260,11 @@ def make_strategy(
     / ``"static"`` / ``"query-time"`` as well as the paper's labels ``"ITG/S"``
     and ``"ITG/A"`` (case-insensitive).
     """
-    normalised = method.strip().lower()
-    if normalised in ("synchronous", "syn", "itg/s", "itgs", "s"):
+    normalised = canonical_method(method)
+    if normalised == "synchronous":
         return SynchronousCheck(itgraph, walking_speed)
-    if normalised in ("asynchronous", "asyn", "itg/a", "itga", "a"):
+    if normalised == "asynchronous":
         return AsynchronousCheck(itgraph, updater, walking_speed)
-    if normalised in ("static", "none", "ignore-time"):
+    if normalised == "static":
         return StaticCheck(itgraph, walking_speed)
-    if normalised in ("query-time", "query_time", "snapshot-at-query-time"):
-        return QueryTimeCheck(itgraph, walking_speed)
-    raise ValueError(f"unknown TV-check method {method!r}")
+    return QueryTimeCheck(itgraph, walking_speed)

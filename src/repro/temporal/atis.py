@@ -24,12 +24,13 @@ class ATISet:
     empty ``ATISet`` models a door that is never open.
     """
 
-    __slots__ = ("_intervals", "_starts")
+    __slots__ = ("_intervals", "_starts", "_ends")
 
     def __init__(self, intervals: Iterable[TimeInterval] = ()):  # noqa: D401
         merged = _normalise(list(intervals))
         self._intervals: Tuple[TimeInterval, ...] = tuple(merged)
         self._starts: List[float] = [iv.start.seconds for iv in self._intervals]
+        self._ends: List[float] = [iv.end.seconds for iv in self._intervals]
 
     # -- constructors ------------------------------------------------------
 
@@ -89,6 +90,36 @@ class ATISet:
         return self._intervals[index].contains(t)
 
     __contains__ = contains
+
+    def contains_seconds(self, seconds: float) -> bool:
+        """Fast membership probe on a raw number of seconds since midnight.
+
+        Semantically identical to :meth:`contains` but skips the
+        ``TimeOfDay`` coercion, making it suitable for the engine's hot loop
+        where arrival times are plain floats.  Instants outside ``[0, 24:00)``
+        (negative values, or arrivals past the end of the day) are simply not
+        contained in any interval.
+        """
+        starts = self._starts
+        if not starts:
+            return False
+        index = bisect.bisect_right(starts, seconds) - 1
+        if index < 0:
+            return False
+        return seconds < self._ends[index]
+
+    def boundary_seconds(self) -> List[float]:
+        """The open/close instants as a flat, strictly increasing float array.
+
+        Because the intervals are normalised (disjoint, non-abutting), an
+        instant ``t`` is open iff ``bisect_right(boundaries, t)`` is odd —
+        the representation the compiled search index lowers every door to.
+        """
+        flat: List[float] = []
+        for start, end in zip(self._starts, self._ends):
+            flat.append(start)
+            flat.append(end)
+        return flat
 
     def interval_containing(self, instant: TimeLike) -> Optional[TimeInterval]:
         """Return the ATI containing ``instant``, or ``None`` when closed."""

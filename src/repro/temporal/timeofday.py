@@ -85,6 +85,17 @@ class TimeOfDay:
         return cls(hours * 3600.0)
 
     @classmethod
+    def _from_seconds_unchecked(cls, seconds: float) -> "TimeOfDay":
+        """Internal fast constructor for values already known to be valid.
+
+        Used by the compiled query engine when stamping arrival times onto
+        path hops; ``seconds`` must be a finite non-negative float.
+        """
+        instance = cls.__new__(cls)
+        instance._seconds = seconds
+        return instance
+
+    @classmethod
     def midnight(cls) -> "TimeOfDay":
         """00:00."""
         return cls(0.0)

@@ -98,14 +98,18 @@ def test_cross_floor_routes_use_staircases(engine, tiny_mall_venue, tiny_mall_it
     assert result.path.is_valid(tiny_mall_itgraph)
 
 
-def test_snapshot_cache_is_shared_across_queries(engine, workload):
-    before = engine.updater.updates_performed
+def test_snapshot_cache_is_shared_across_queries(tiny_mall_itgraph, workload):
+    # The GraphUpdater cache backs the reference engine's ITG/A path; the
+    # compiled default never touches it (its bitsets are precomputed), so
+    # this guard must run with compiled=False to stay meaningful.
+    reference = ITSPQEngine(tiny_mall_itgraph, compiled=False)
+    before = reference.updater.updates_performed
     for query in workload:
-        engine.run(query, method=CheckMethod.ASYNCHRONOUS)
-    after = engine.updater.updates_performed
+        reference.run(query, method=CheckMethod.ASYNCHRONOUS)
+    after = reference.updater.updates_performed
     # All 12:00 queries fall in the same checkpoint interval, so at most a
     # couple of snapshot constructions are needed for the whole workload.
-    assert after - before <= 3
+    assert 1 <= after - before <= 3
 
 
 def test_statistics_reflect_method_differences(engine, workload):

@@ -62,6 +62,51 @@ class TestMembership:
         assert not atis.contains(TimeOfDay(90000))
 
 
+class TestContainsSeconds:
+    """The raw-float fast probe used by the engines' hot loops."""
+
+    def test_matches_contains_at_boundaries(self, d9_atis):
+        for seconds in (0.0, 6 * 3600 - 1e-9, 6 * 3600.0, 6.5 * 3600.0, 23 * 3600.0, 86400.0):
+            assert d9_atis.contains_seconds(seconds) == d9_atis.contains(seconds)
+
+    def test_open_boundary_is_inclusive_close_exclusive(self, d9_atis):
+        assert d9_atis.contains_seconds(6.5 * 3600.0)  # opens at 6:30
+        assert not d9_atis.contains_seconds(6 * 3600.0)  # closes at 6:00
+        assert not d9_atis.contains_seconds(23 * 3600.0)  # closes at 23:00
+
+    def test_wraparound_times_are_closed(self, d9_atis):
+        # Arrival times past 24:00 never wrap: a door open in the small hours
+        # is still closed for an arrival at 24:30 (= 0:30 the "next day").
+        assert d9_atis.contains_seconds(1800.0)  # 0:30 itself is open
+        assert not d9_atis.contains_seconds(86400.0 + 1800.0)
+
+    def test_negative_and_empty(self):
+        assert not ATISet.never_open().contains_seconds(0.0)
+        assert not ATISet.from_pairs([("8:00", "16:00")]).contains_seconds(-1.0)
+
+    def test_always_open_spans_whole_day_only(self):
+        always = ATISet.always_open()
+        assert always.contains_seconds(0.0)
+        assert always.contains_seconds(86400.0 - 1e-6)
+        assert not always.contains_seconds(86400.0)
+
+    def test_agrees_with_contains_on_dense_grid(self, d9_atis):
+        for step in range(0, 25 * 3600, 900):
+            seconds = float(step)
+            assert d9_atis.contains_seconds(seconds) == d9_atis.contains(seconds), seconds
+
+    def test_boundary_seconds_parity_probe(self, d9_atis):
+        """The flat boundary array used by the compiled index is equivalent."""
+        import bisect
+
+        bounds = d9_atis.boundary_seconds()
+        assert bounds == sorted(bounds)
+        for step in range(0, 25 * 3600, 450):
+            seconds = float(step)
+            lowered = bisect.bisect_right(bounds, seconds) & 1 == 1
+            assert lowered == d9_atis.contains_seconds(seconds), seconds
+
+
 class TestQueries:
     def test_next_opening(self, d9_atis):
         assert d9_atis.next_opening("6:10") == TimeOfDay("6:30")
