@@ -1,11 +1,19 @@
 #!/usr/bin/env python
-"""Perf gate: the compiled engine must beat the reference on the example venue.
+"""Perf gate: compiled must beat reference, batch must beat sequential.
 
-Intended for CI/pre-merge use: runs the paper's running-example floorplan
-(Figure 1 / Table I) through both engines for ITG/S and ITG/A, compares
-median query latencies measured via :func:`repro.bench.harness.run_query_set`
-and exits non-zero when the compiled fast path is not strictly faster (or
-when the two engines disagree on any answer).
+Intended for CI/pre-merge use, on the paper's running-example floorplan
+(Figure 1 / Table I):
+
+1. **Compiled gate** — runs the example workload through the reference and
+   the compiled engine for ITG/S and ITG/A, compares median query latencies
+   via :func:`repro.bench.harness.run_query_set` and fails when the compiled
+   fast path is not strictly faster (or the engines disagree on any answer).
+2. **Batch gate** — runs a fan-out batch workload (every source to every
+   target, the service shape batching is for) through the sequential loop
+   and the :class:`~repro.core.batch.BatchExecutor` via
+   :func:`repro.bench.harness.run_batch_query_set` and fails when batch
+   execution is below ``--min-batch-speedup`` (default 1.5x) or disagrees
+   with the sequential engine on any answer.
 
 Usage::
 
@@ -21,11 +29,12 @@ from pathlib import Path
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-from repro.bench.harness import run_query_set  # noqa: E402
+from repro.bench.harness import run_batch_query_set, run_query_set  # noqa: E402
 from repro.core.engine import ITSPQEngine  # noqa: E402
 from repro.core.query import ITSPQuery  # noqa: E402
 from repro.datasets.example_floorplan import (  # noqa: E402
     build_example_itgraph,
+    example_fanout_endpoints,
     example_query_points,
 )
 
@@ -46,10 +55,35 @@ def build_workload():
     ]
 
 
+def build_batch_workload(itgraph):
+    """Fan-out workload: every source to every public-partition target.
+
+    This is the workload shape batch execution exists for — many queries
+    sharing entrances and query times.  The endpoints come from
+    :func:`example_fanout_endpoints`, shared with
+    ``benchmarks/bench_batch_throughput.py`` so the gate measures exactly
+    the workload ``BENCH_batch.json`` reports.
+    """
+    sources, targets = example_fanout_endpoints(itgraph)
+    return [
+        ITSPQuery(source, target, query_time)
+        for source in sources
+        for target in targets
+        if source is not target
+        for query_time in QUERY_TIMES
+    ]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--repetitions", type=int, default=10, help="measurement repetitions per query"
+    )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=1.5,
+        help="required batch-vs-sequential throughput ratio (default 1.5)",
     )
     args = parser.parse_args(argv)
 
@@ -80,11 +114,50 @@ def main(argv=None) -> int:
                 f"({cmp_measure.p50_time_us:.1f} us >= {ref_measure.p50_time_us:.1f} us)"
             )
 
+    # -- batch throughput gate -------------------------------------------------
+    batch_queries = build_batch_workload(itgraph)
+    for method in METHODS:
+        sequential_results = compiled_engine.run_batch(batch_queries, method=method, batch=False)
+        batch_results = compiled_engine.run_batch(batch_queries, method=method)
+        for seq, bat in zip(sequential_results, batch_results):
+            if seq.found != bat.found or seq.length != bat.length:
+                failures.append(f"{method}: batch and sequential disagree on {seq.query}")
+                break
+
+        # Interleave the two modes rep by rep so CPU-state drift during the
+        # measurement hits both equally and the ratio stays stable.
+        sequential_best = batched_best = float("inf")
+        for _ in range(args.repetitions):
+            sequential = run_batch_query_set(
+                compiled_engine, batch_queries, method, repetitions=1, warmup=0, batch=False
+            )
+            batched = run_batch_query_set(
+                compiled_engine, batch_queries, method, repetitions=1, warmup=0, batch=True
+            )
+            sequential_best = min(sequential_best, sequential.best_seconds)
+            batched_best = min(batched_best, batched.best_seconds)
+        sequential_qps = len(batch_queries) / sequential_best
+        batched_qps = len(batch_queries) / batched_best
+        speedup = batched_qps / sequential_qps
+        print(
+            f"{method}: batch {batched_qps:,.0f} q/s vs sequential "
+            f"{sequential_qps:,.0f} q/s -> {speedup:.2f}x "
+            f"({len(batch_queries)} queries)"
+        )
+        if speedup < args.min_batch_speedup:
+            failures.append(
+                f"{method}: batch execution below the {args.min_batch_speedup:.2f}x gate "
+                f"({speedup:.2f}x)"
+            )
+
     if failures:
         for failure in failures:
             print(f"PERF GATE FAILED: {failure}", file=sys.stderr)
         return 1
-    print("perf gate passed: compiled engine is faster than the reference on the example venue")
+    print(
+        "perf gate passed: compiled beats reference and batch beats sequential "
+        "on the example venue"
+    )
     return 0
 
 

@@ -28,7 +28,13 @@ from repro.bench.experiments import (
     experiment_ablation_checks,
     experiment_ablation_partition_once,
 )
-from repro.bench.harness import ExperimentResult, QuerySetMeasurement, run_query_set
+from repro.bench.harness import (
+    BatchThroughputMeasurement,
+    ExperimentResult,
+    QuerySetMeasurement,
+    run_batch_query_set,
+    run_query_set,
+)
 from repro.bench.memory import deep_sizeof, measure_peak_memory
 from repro.bench.reporting import format_experiment, format_table
 
@@ -44,7 +50,9 @@ __all__ = [
     "experiment_ablation_partition_once",
     "ExperimentResult",
     "QuerySetMeasurement",
+    "BatchThroughputMeasurement",
     "run_query_set",
+    "run_batch_query_set",
     "deep_sizeof",
     "measure_peak_memory",
     "format_experiment",

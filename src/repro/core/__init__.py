@@ -19,6 +19,10 @@ Contents
     The integer-indexed compiled search index: dense ``DM`` arrays, flattened
     adjacency, flat ATI boundary arrays and per-interval open-door bitsets,
     powering the engine's default fast path (``compiled=True``).
+:mod:`repro.core.batch`
+    Vectorised batch query execution: the reusable generation-stamped search
+    arena, the common-source batch planner and the multi-target executor
+    behind ``ITSPQEngine.run_batch``.
 :mod:`repro.core.path` / :mod:`repro.core.query`
     Query and result value objects, including per-hop arrival times and
     re-validation of returned paths.
@@ -27,6 +31,7 @@ Contents
     as correctness oracles by the test-suite.
 """
 
+from repro.core.batch import BatchExecutor, BatchGroup, BatchPlanner, SearchArena
 from repro.core.compiled import CompiledITGraph
 from repro.core.itgraph import DoorRecord, ITGraph, PartitionRecord, build_itgraph
 from repro.core.snapshot import GraphSnapshot, GraphUpdater, IntervalBitsets
@@ -50,6 +55,10 @@ __all__ = [
     "DoorRecord",
     "PartitionRecord",
     "build_itgraph",
+    "BatchExecutor",
+    "BatchGroup",
+    "BatchPlanner",
+    "SearchArena",
     "CompiledITGraph",
     "GraphSnapshot",
     "GraphUpdater",

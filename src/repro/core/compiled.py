@@ -49,6 +49,16 @@ CompiledEdge = Tuple[int, float]
 #: ``(partition_index, partition_is_private, edges)``
 CompiledGroup = Tuple[int, bool, Tuple[CompiledEdge, ...]]
 
+#: canonical method name -> (dispatch kind, paper label); the kinds index the
+#: inline TV-check branches shared by ``ITSPQEngine._search_compiled`` and the
+#: batch executor's multi-target search (:mod:`repro.core.batch`).
+COMPILED_KINDS: Dict[str, Tuple[int, str]] = {
+    "synchronous": (0, "ITG/S"),
+    "asynchronous": (1, "ITG/A"),
+    "static": (2, "static"),
+    "query-time": (3, "query-time-snapshot"),
+}
+
 _NAN = float("nan")
 
 
@@ -80,6 +90,7 @@ class CompiledITGraph:
         "door_floor",
         "leaveable_by_partition",
         "_locate_entries",
+        "_locate_grid",
     )
 
     def __init__(self, itgraph: ITGraph):
@@ -208,6 +219,41 @@ class CompiledITGraph:
                 locate_by_floor.setdefault(floor, []).append(entry)
         self._locate_entries = {floor: tuple(rows) for floor, rows in locate_by_floor.items()}
 
+        # Uniform point-location grid per floor: each cell holds, in the same
+        # insertion order as ``_locate_entries``, the entries whose (inflated)
+        # bbox overlaps the cell.  A lookup inspects one cell instead of the
+        # whole floor, making ``locate_index`` O(1)-ish at paper scale while
+        # preserving the exact first-match semantics (any entry containing a
+        # point overlaps the point's cell, and cell lists keep global order).
+        self._locate_grid = {
+            floor: self._build_floor_grid(rows) for floor, rows in self._locate_entries.items()
+        }
+
+    @staticmethod
+    def _build_floor_grid(rows):
+        """``(min_x, min_y, inv_w, inv_h, nx, ny, cells)`` for one floor."""
+        min_x = min(row[0] for row in rows)
+        max_x = max(row[1] for row in rows)
+        min_y = min(row[2] for row in rows)
+        max_y = max(row[3] for row in rows)
+        # Aim for about one partition per cell on a roughly square grid.
+        side = max(1, math.isqrt(len(rows)))
+        nx = side if max_x > min_x else 1
+        ny = side if max_y > min_y else 1
+        inv_w = nx / (max_x - min_x) if max_x > min_x else 0.0
+        inv_h = ny / (max_y - min_y) if max_y > min_y else 0.0
+        cells: List[List[tuple]] = [[] for _ in range(nx * ny)]
+        for row in rows:
+            x_low = min(int((row[0] - min_x) * inv_w), nx - 1)
+            x_high = min(int((row[1] - min_x) * inv_w), nx - 1)
+            y_low = min(int((row[2] - min_y) * inv_h), ny - 1)
+            y_high = min(int((row[3] - min_y) * inv_h), ny - 1)
+            for cx in range(x_low, x_high + 1):
+                base = cx * ny
+                for cy in range(y_low, y_high + 1):
+                    cells[base + cy].append(row)
+        return (min_x, min_y, inv_w, inv_h, nx, ny, tuple(tuple(cell) for cell in cells))
+
     # -- accessors -------------------------------------------------------------
 
     @property
@@ -254,9 +300,52 @@ class CompiledITGraph:
         """Partition index covering ``point`` — compiled ``P(p)``.
 
         First-match-in-insertion-order, exactly like
-        :meth:`~repro.indoor.space.IndoorSpace.locate`; the flat floor/bbox
-        prefilter only skips partitions the exact containment test would
-        reject anyway.
+        :meth:`~repro.indoor.space.IndoorSpace.locate`, but served from the
+        per-floor uniform grid: only the partitions whose bounding box
+        overlaps the point's grid cell are tested, so endpoint location costs
+        a handful of containment tests regardless of venue size.  Any
+        partition containing the point overlaps its cell and cell lists keep
+        the global insertion order, so the first match is the same partition
+        the linear scan (:meth:`locate_index_linear`) returns.
+
+        Raises
+        ------
+        UnknownEntityError
+            If no partition covers the point.
+        """
+        grid = self._locate_grid.get(point.floor)
+        if grid is None:
+            raise UnknownEntityError(f"no partition covers point {point!r}")
+        min_x, min_y, inv_w, inv_h, nx, ny, cells = grid
+        x = point.x
+        y = point.y
+        cx = int((x - min_x) * inv_w)
+        if cx < 0:
+            cx = 0
+        elif cx >= nx:
+            cx = nx - 1
+        cy = int((y - min_y) * inv_h)
+        if cy < 0:
+            cy = 0
+        elif cy >= ny:
+            cy = ny - 1
+        for bbox_min_x, bbox_max_x, bbox_min_y, bbox_max_y, contains_point, pidx in cells[
+            cx * ny + cy
+        ]:
+            if (
+                bbox_min_x <= x <= bbox_max_x
+                and bbox_min_y <= y <= bbox_max_y
+                and contains_point(point)
+            ):
+                return pidx
+        raise UnknownEntityError(f"no partition covers point {point!r}")
+
+    def locate_index_linear(self, point) -> int:
+        """The pre-grid linear bbox scan (the oracle for grid equivalence).
+
+        Same first-match-in-insertion-order semantics as :meth:`locate_index`;
+        kept for tests and as a reference for venues whose geometry defeats
+        uniform bucketing.
 
         Raises
         ------

@@ -37,7 +37,8 @@ from math import hypot
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.constants import WALKING_SPEED_MPS
-from repro.core.compiled import CompiledITGraph
+from repro.core.batch import BatchExecutor
+from repro.core.compiled import COMPILED_KINDS, CompiledITGraph
 from repro.core.itgraph import ITGraph
 from repro.core.path import IndoorPath, PathHop
 from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
@@ -112,6 +113,7 @@ class ITSPQEngine:
         self._compiled_enabled = compiled and not partition_once
         self._compiled_graph: Optional[CompiledITGraph] = None
         self._compiled_store: Optional[CompiledSnapshotStore] = None
+        self._batch_executor: Optional[BatchExecutor] = None
 
     # -- public API ------------------------------------------------------------------
 
@@ -202,13 +204,65 @@ class ITSPQEngine:
         result.statistics.runtime_seconds = time.perf_counter() - started
         return result
 
+    def batch_executor(self) -> BatchExecutor:
+        """The engine's :class:`~repro.core.batch.BatchExecutor` (built lazily).
+
+        The executor shares the engine's compiled index, snapshot store and
+        walking speed, and reuses one search arena across calls, so repeated
+        batches pay no per-batch setup beyond planning.
+        """
+        if not self._compiled_enabled:
+            raise QueryError("batch execution requires the compiled fast path")
+        self.ensure_compiled()
+        if self._batch_executor is None:
+            self._batch_executor = BatchExecutor(
+                self._compiled_graph, self._compiled_store, self._walking_speed
+            )
+        return self._batch_executor
+
     def run_batch(
         self,
         queries: List[ITSPQuery],
         method: MethodLike = CheckMethod.SYNCHRONOUS,
+        batch: bool = True,
     ) -> List[QueryResult]:
-        """Answer a list of queries with the same method (used by benchmarks)."""
-        return [self.run(q, method=method) for q in queries]
+        """Answer a list of queries with the same method.
+
+        With ``batch=True`` (the default on a compiled engine) the workload
+        runs through the :class:`~repro.core.batch.BatchExecutor`: queries
+        are planned into common-source groups, each answered by one
+        multi-target search over the shared arena.  Results are returned in
+        input order and are bit-identical to sequential ``run`` calls (the
+        parity suite enforces this); only ``runtime_seconds`` differs in
+        meaning — it is the group's wall time amortised over its members.
+
+        ``batch=False`` (and any non-compiled engine) keeps the sequential
+        one-search-per-query path, which serves as the batch parity oracle.
+        Either way the method/strategy resolution is hoisted out of the
+        per-query loop — it is resolved exactly once per call.
+        """
+        method_name = canonical_method(_normalise_method(method))
+        if self._compiled_enabled:
+            if batch:
+                return self.batch_executor().run_batch(queries, method_name)
+            self.ensure_compiled()
+            results = []
+            for query in queries:
+                started = time.perf_counter()
+                result = self._search_compiled(query, method_name)
+                result.statistics.runtime_seconds = time.perf_counter() - started
+                results.append(result)
+            return results
+        # Reference engine: one strategy instance, reset per query by
+        # ``begin_query`` — identical results to per-query construction.
+        strategy = make_strategy(method_name, self._itgraph, self._updater, self._walking_speed)
+        results = []
+        for query in queries:
+            started = time.perf_counter()
+            result = self._search(query, strategy)
+            result.statistics.runtime_seconds = time.perf_counter() - started
+            results.append(result)
+        return results
 
     # -- the search (Algorithm 1) ----------------------------------------------------------
 
@@ -238,6 +292,7 @@ class ITSPQEngine:
         tie_breaker = itertools.count()
         heapq.heappush(heap, (0.0, next(tie_breaker), SOURCE_NODE))
         stats.heap_pushes += 1
+        stats.peak_heap_size = max(stats.peak_heap_size, len(heap))
 
         def relax(node: str, new_distance: float, previous: str, via_partition: str) -> None:
             """Relax ``node`` with a candidate distance (no temporal check here)."""
@@ -329,14 +384,9 @@ class ITSPQEngine:
 
     # -- the compiled search (integer-label fast path) ---------------------------------------
 
-    #: canonical method name -> (dispatch kind, paper label); the kinds index
-    #: the inline TV-check branches of :meth:`_search_compiled`.
-    _COMPILED_KINDS = {
-        "synchronous": (0, "ITG/S"),
-        "asynchronous": (1, "ITG/A"),
-        "static": (2, "static"),
-        "query-time": (3, "query-time-snapshot"),
-    }
+    #: canonical method name -> (dispatch kind, paper label); shared with the
+    #: batch executor's multi-target search (see ``repro.core.compiled``).
+    _COMPILED_KINDS = COMPILED_KINDS
 
     def _search_compiled(self, itsp_query: ITSPQuery, method_name: str) -> QueryResult:
         """Algorithm 1 over the compiled integer-indexed graph.
@@ -404,7 +454,9 @@ class ITSPQEngine:
         heap_pushes = 1
         heap_pops = 0
         heap_size = 1
-        peak_heap = 0
+        # The initial SOURCE push counts toward the peak, like every other
+        # push (both engines track this uniformly).
+        peak_heap = 1
         doors_settled = 0
         relaxations = 0
         partitions_expanded = 0

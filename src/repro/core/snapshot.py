@@ -190,10 +190,23 @@ class IntervalBitsets:
         """Number of distinct constant-topology intervals."""
         return len(self._starts)
 
+    def index_at(self, instant_seconds: float) -> int:
+        """Index of the constant-topology interval containing the instant.
+
+        The arena-friendly primitive shared by :meth:`bitset_at`, the
+        per-engine :class:`CompiledSnapshotStore` and the batch planner: one
+        ``bisect`` on raw floats, no object construction.
+        """
+        index = bisect.bisect_right(self._starts, instant_seconds) - 1
+        return index if index > 0 else 0
+
+    def bitset_by_index(self, index: int) -> bytes:
+        """The open-door flag array of interval ``index`` (no bounds probe)."""
+        return self._bitsets[index]
+
     def bitset_at(self, instant_seconds: float) -> bytes:
         """The open-door flag array in force at ``instant_seconds``."""
-        index = bisect.bisect_right(self._starts, instant_seconds) - 1
-        return self._bitsets[max(index, 0)]
+        return self._bitsets[self.index_at(instant_seconds)]
 
     def store(self) -> "CompiledSnapshotStore":
         """A fresh per-engine view over these bitsets (see the store's docs)."""
@@ -212,12 +225,18 @@ class CompiledSnapshotStore:
     bit-identical to the reference strategy's.
     """
 
-    __slots__ = ("_bitsets", "_starts", "_tail_end")
+    __slots__ = ("_source", "_bitsets", "_starts", "_tail_end")
 
     def __init__(self, bitsets: IntervalBitsets):
+        self._source = bitsets
         self._bitsets = bitsets._bitsets
         self._starts = bitsets._starts
         self._tail_end: Optional[float] = None
+
+    @property
+    def bitsets(self) -> IntervalBitsets:
+        """The shared immutable bitsets this store serves."""
+        return self._source
 
     def interval_at(self, instant_seconds: float) -> Tuple[float, float, bytes]:
         """``(start, end, open_bits)`` of the interval containing the instant."""

@@ -75,3 +75,23 @@ def test_snapshot_respects_the_no_change_between_checkpoints_property(updater, e
     assert example_itgraph.doors_closed_at(interval.start) == example_itgraph.doors_closed_at(
         midpoint
     )
+
+
+def test_interval_bitsets_index_probes(example_itgraph):
+    # The arena-friendly index probes agree with the instant-based lookup.
+    bitsets = example_itgraph.compiled().interval_bitsets
+    starts = bitsets.starts
+    for instant in [-100.0, 0.0, *(s + 1.0 for s in starts), 86399.0, 200000.0]:
+        index = bitsets.index_at(instant)
+        assert 0 <= index < bitsets.interval_count
+        assert bitsets.bitset_by_index(index) == bitsets.bitset_at(instant)
+    assert bitsets.index_at(starts[0] - 1.0) == 0
+
+
+def test_snapshot_store_exposes_its_bitsets(example_itgraph):
+    bitsets = example_itgraph.compiled().interval_bitsets
+    store = bitsets.store()
+    assert store.bitsets is bitsets
+    start, end, bits = store.interval_at(0.0)
+    assert start <= 0.0 < end
+    assert bits == bitsets.bitset_at(0.0)

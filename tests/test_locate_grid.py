@@ -1,0 +1,179 @@
+"""Grid point-location vs linear scan equivalence.
+
+``CompiledITGraph.locate_index`` answers ``P(p)`` from a per-floor uniform
+grid; ``locate_index_linear`` is the pre-grid full scan with identical
+first-match-in-insertion-order semantics.  The two must agree — same
+partition index, or both raising ``UnknownEntityError`` — on every point:
+random interior points, points exactly on partition borders (polygon
+vertices, edge midpoints, shared walls), points on grid-cell boundaries and
+points outside every partition.
+"""
+
+import random
+
+import pytest
+
+from repro.exceptions import UnknownEntityError
+from repro.geometry.point import IndoorPoint
+
+
+def assert_locate_equivalent(compiled, point):
+    """Grid and linear location agree on ``point`` (result or rejection)."""
+    try:
+        expected = compiled.locate_index_linear(point)
+    except UnknownEntityError:
+        with pytest.raises(UnknownEntityError):
+            compiled.locate_index(point)
+        return
+    assert compiled.locate_index(point) == expected, point
+
+
+def venue_floors(itgraph):
+    """All floors that have at least one located partition."""
+    floors = set()
+    for partition in itgraph.space.iter_partitions():
+        if partition.polygon is None:
+            continue
+        if partition.spans_floors is not None:
+            low, high = partition.spans_floors
+            floors.update(range(low, high + 1))
+        else:
+            floors.add(partition.floor)
+    return sorted(floors)
+
+
+def venue_bbox(itgraph):
+    """The union bounding box over all partition polygons."""
+    boxes = [
+        partition.polygon.bounding_box
+        for partition in itgraph.space.iter_partitions()
+        if partition.polygon is not None
+    ]
+    return (
+        min(box.min_x for box in boxes),
+        min(box.min_y for box in boxes),
+        max(box.max_x for box in boxes),
+        max(box.max_y for box in boxes),
+    )
+
+
+def sample_points(itgraph, seed, count=400):
+    """Random points across (and slightly beyond) the venue extent."""
+    rng = random.Random(seed)
+    min_x, min_y, max_x, max_y = venue_bbox(itgraph)
+    pad_x = 0.25 * (max_x - min_x)
+    pad_y = 0.25 * (max_y - min_y)
+    floors = venue_floors(itgraph)
+    points = []
+    for _ in range(count):
+        points.append(
+            IndoorPoint(
+                rng.uniform(min_x - pad_x, max_x + pad_x),
+                rng.uniform(min_y - pad_y, max_y + pad_y),
+                rng.choice(floors),
+            )
+        )
+    return points
+
+
+def border_points(itgraph):
+    """Polygon vertices and edge midpoints of every partition, on every floor
+    the partition spans — the exact-boundary cases bbox prefilters get wrong
+    when tolerances are mishandled."""
+    points = []
+    for partition in itgraph.space.iter_partitions():
+        if partition.polygon is None:
+            continue
+        if partition.spans_floors is not None:
+            low, high = partition.spans_floors
+            floors = range(low, high + 1)
+        else:
+            floors = (partition.floor,)
+        for floor in floors:
+            for vertex in partition.polygon.vertices:
+                points.append(IndoorPoint(vertex.x, vertex.y, floor))
+            for edge in partition.polygon.edges():
+                mid_x = (edge.start.x + edge.end.x) / 2.0
+                mid_y = (edge.start.y + edge.end.y) / 2.0
+                points.append(IndoorPoint(mid_x, mid_y, floor))
+    return points
+
+
+class TestExampleVenueGrid:
+    def test_random_points(self, example_itgraph):
+        compiled = example_itgraph.compiled()
+        for point in sample_points(example_itgraph, seed=31):
+            assert_locate_equivalent(compiled, point)
+
+    def test_border_points(self, example_itgraph):
+        compiled = example_itgraph.compiled()
+        for point in border_points(example_itgraph):
+            assert_locate_equivalent(compiled, point)
+
+    def test_query_points_and_outside(self, example_itgraph, example_points):
+        compiled = example_itgraph.compiled()
+        for point in example_points.values():
+            expected = example_itgraph.covering_partition(point).partition_id
+            assert compiled.partition_ids[compiled.locate_index(point)] == expected
+        for bad in (
+            IndoorPoint(9999.0, 9999.0, 0),
+            IndoorPoint(-9999.0, -9999.0, 0),
+            IndoorPoint(0.0, 0.0, 42),  # floor with no partitions at all
+        ):
+            with pytest.raises(UnknownEntityError):
+                compiled.locate_index(bad)
+            with pytest.raises(UnknownEntityError):
+                compiled.locate_index_linear(bad)
+
+
+class TestSyntheticMallGrid:
+    """Multi-floor venue with staircases (floor-spanning partitions)."""
+
+    def test_random_points(self, tiny_mall_itgraph):
+        compiled = tiny_mall_itgraph.compiled()
+        for point in sample_points(tiny_mall_itgraph, seed=57, count=600):
+            assert_locate_equivalent(compiled, point)
+
+    def test_border_points(self, tiny_mall_itgraph):
+        compiled = tiny_mall_itgraph.compiled()
+        for point in border_points(tiny_mall_itgraph):
+            assert_locate_equivalent(compiled, point)
+
+    def test_door_positions(self, tiny_mall_itgraph):
+        # Door positions sit exactly on shared partition walls — the
+        # worst-case first-match tie between adjacent partitions.
+        compiled = tiny_mall_itgraph.compiled()
+        for door_id in tiny_mall_itgraph.door_ids():
+            position = tiny_mall_itgraph.door_record(door_id).position
+            assert_locate_equivalent(compiled, position)
+
+    def test_grid_cell_boundaries(self, tiny_mall_itgraph):
+        # Points laid exactly on the uniform grid's cell edges: the lookup
+        # must still inspect a cell whose candidate list contains the match.
+        compiled = tiny_mall_itgraph.compiled()
+        for floor, grid in compiled._locate_grid.items():
+            min_x, min_y, inv_w, inv_h, nx, ny, _ = grid
+            if not inv_w or not inv_h:
+                continue
+            for cx in range(nx + 1):
+                for cy in range(ny + 1):
+                    point = IndoorPoint(min_x + cx / inv_w, min_y + cy / inv_h, floor)
+                    assert_locate_equivalent(compiled, point)
+
+    def test_search_parity_unaffected(self, tiny_mall_itgraph):
+        # End-to-end guard: endpoint location through the grid returns the
+        # same partitions, so engine answers are unchanged.
+        from repro.core.engine import ITSPQEngine
+        from repro.synthetic.queries import QueryWorkloadConfig, generate_query_instances
+
+        workload = generate_query_instances(
+            tiny_mall_itgraph,
+            QueryWorkloadConfig(s2t_distance=150.0, pairs=3, query_time="12:00", seed=11),
+        )
+        engine = ITSPQEngine(tiny_mall_itgraph)
+        for generated in workload:
+            result = engine.run(generated.query, method="synchronous")
+            source_pidx = engine.ensure_compiled().locate_index(generated.query.source)
+            linear_pidx = engine.ensure_compiled().locate_index_linear(generated.query.source)
+            assert source_pidx == linear_pidx
+            assert result.found
