@@ -1,23 +1,36 @@
 #!/usr/bin/env python
-"""Perf gate: compiled must beat reference, batch must beat sequential.
+"""Perf gate: compiled beats reference, batch beats sequential, parallel agrees.
 
 Intended for CI/pre-merge use, on the paper's running-example floorplan
 (Figure 1 / Table I):
 
-1. **Compiled gate** — runs the example workload through the reference and
-   the compiled engine for ITG/S and ITG/A, compares median query latencies
-   via :func:`repro.bench.harness.run_query_set` and fails when the compiled
+1. **Compiled gates** — run the example workload through the reference and
+   the compiled engine for ITG/S and ITG/A, compare median query latencies
+   via :func:`repro.bench.harness.run_query_set` and fail when the compiled
    fast path is not strictly faster (or the engines disagree on any answer).
-2. **Batch gate** — runs a fan-out batch workload (every source to every
+2. **Batch gates** — run a fan-out batch workload (every source to every
    target, the service shape batching is for) through the sequential loop
    and the :class:`~repro.core.batch.BatchExecutor` via
-   :func:`repro.bench.harness.run_batch_query_set` and fails when batch
+   :func:`repro.bench.harness.run_batch_query_set` and fail when batch
    execution is below ``--min-batch-speedup`` (default 1.5x) or disagrees
    with the sequential engine on any answer.
+3. **Parallel gates** (``--workers N``, N > 1) — run the same fan-out
+   workload through the :class:`~repro.core.parallel.ParallelBatchExecutor`
+   and fail on any disagreement with the sequential engine (results must be
+   bit-identical including statistics).  Throughput is gated only when
+   ``--min-parallel-speedup`` is above zero: parallel speedup depends on the
+   host's core count, so CI keeps it correctness-only (like the relaxed
+   batch ratio) while dedicated multi-core hardware can enforce a floor.
+
+Every check runs to completion and the script always prints one summary
+table covering all of them, so a CI log shows every regression at once
+instead of stopping at the first failed gate; the exit status is non-zero
+when any check failed.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_perf.py
+    PYTHONPATH=src python scripts/check_perf.py --workers 2
 """
 
 from __future__ import annotations
@@ -30,8 +43,9 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.bench.harness import run_batch_query_set, run_query_set  # noqa: E402
+from repro.bench.reporting import format_table  # noqa: E402
 from repro.core.engine import ITSPQEngine  # noqa: E402
-from repro.core.query import ITSPQuery  # noqa: E402
+from repro.core.query import ITSPQuery, SearchStatistics  # noqa: E402
 from repro.datasets.example_floorplan import (  # noqa: E402
     build_example_itgraph,
     example_fanout_endpoints,
@@ -40,6 +54,9 @@ from repro.datasets.example_floorplan import (  # noqa: E402
 
 METHODS = ("ITG/S", "ITG/A")
 QUERY_TIMES = ("6:30", "9:00", "12:00", "15:55", "21:00")
+
+#: Statistics fields the parallel gate compares (everything but runtime).
+_STAT_KEYS = SearchStatistics.COUNTER_FIELDS
 
 
 def build_workload():
@@ -74,60 +91,78 @@ def build_batch_workload(itgraph):
     ]
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--repetitions", type=int, default=10, help="measurement repetitions per query"
-    )
-    parser.add_argument(
-        "--min-batch-speedup",
-        type=float,
-        default=1.5,
-        help="required batch-vs-sequential throughput ratio (default 1.5)",
-    )
-    args = parser.parse_args(argv)
+class GateReport:
+    """Collects every check's outcome; one summary table at the end."""
 
-    itgraph = build_example_itgraph()
-    reference = ITSPQEngine(itgraph, compiled=False)
-    compiled_engine = ITSPQEngine(itgraph, compiled=True)
-    compiled_engine.ensure_compiled()
-    queries = build_workload()
+    def __init__(self) -> None:
+        self.checks = []
 
-    failures = []
+    def record(self, name: str, passed: bool, measured: str = "", required: str = "") -> None:
+        self.checks.append(
+            {
+                "check": name,
+                "status": "ok" if passed else "FAIL",
+                "measured": measured,
+                "required": required,
+            }
+        )
+        suffix = f" (required {required})" if required else ""
+        print(f"[{'ok' if passed else 'FAIL'}] {name}: {measured}{suffix}")
+
+    @property
+    def failures(self):
+        return [check for check in self.checks if check["status"] != "ok"]
+
+    def summary_table(self) -> str:
+        return format_table(self.checks, columns=("check", "status", "measured", "required"))
+
+
+def check_compiled(report: GateReport, reference, compiled_engine, queries, repetitions) -> None:
     for method in METHODS:
+        disagreements = 0
         for query in queries:
             ref = reference.run(query, method=method)
             cmp = compiled_engine.run(query, method=method)
             if ref.found != cmp.found or ref.length != cmp.length:
-                failures.append(f"{method}: engines disagree on {query}")
-
-        ref_measure = run_query_set(reference, queries, method, repetitions=args.repetitions)
-        cmp_measure = run_query_set(compiled_engine, queries, method, repetitions=args.repetitions)
-        speedup = ref_measure.p50_time_us / cmp_measure.p50_time_us
-        print(
-            f"{method}: compiled p50 {cmp_measure.p50_time_us:.1f} us vs "
-            f"reference p50 {ref_measure.p50_time_us:.1f} us -> {speedup:.2f}x"
+                disagreements += 1
+        report.record(
+            f"{method} compiled/reference agreement",
+            disagreements == 0,
+            f"{disagreements} disagreements on {len(queries)} queries",
+            "0 disagreements",
         )
-        if cmp_measure.p50_time_us >= ref_measure.p50_time_us:
-            failures.append(
-                f"{method}: compiled engine is not faster "
-                f"({cmp_measure.p50_time_us:.1f} us >= {ref_measure.p50_time_us:.1f} us)"
-            )
 
-    # -- batch throughput gate -------------------------------------------------
-    batch_queries = build_batch_workload(itgraph)
+        ref_measure = run_query_set(reference, queries, method, repetitions=repetitions)
+        cmp_measure = run_query_set(compiled_engine, queries, method, repetitions=repetitions)
+        speedup = ref_measure.p50_time_us / cmp_measure.p50_time_us
+        report.record(
+            f"{method} compiled speedup",
+            cmp_measure.p50_time_us < ref_measure.p50_time_us,
+            f"{speedup:.2f}x (p50 {cmp_measure.p50_time_us:.1f} us vs {ref_measure.p50_time_us:.1f} us)",
+            "> 1.00x",
+        )
+
+
+def check_batch(report: GateReport, compiled_engine, batch_queries, repetitions, min_speedup) -> None:
     for method in METHODS:
         sequential_results = compiled_engine.run_batch(batch_queries, method=method, batch=False)
         batch_results = compiled_engine.run_batch(batch_queries, method=method)
-        for seq, bat in zip(sequential_results, batch_results):
-            if seq.found != bat.found or seq.length != bat.length:
-                failures.append(f"{method}: batch and sequential disagree on {seq.query}")
-                break
+        disagreements = sum(
+            1
+            for seq, bat in zip(sequential_results, batch_results)
+            if seq.found != bat.found or seq.length != bat.length
+        )
+        report.record(
+            f"{method} batch/sequential agreement",
+            disagreements == 0,
+            f"{disagreements} disagreements on {len(batch_queries)} queries",
+            "0 disagreements",
+        )
 
         # Interleave the two modes rep by rep so CPU-state drift during the
         # measurement hits both equally and the ratio stays stable.
         sequential_best = batched_best = float("inf")
-        for _ in range(args.repetitions):
+        for _ in range(repetitions):
             sequential = run_batch_query_set(
                 compiled_engine, batch_queries, method, repetitions=1, warmup=0, batch=False
             )
@@ -139,25 +174,127 @@ def main(argv=None) -> int:
         sequential_qps = len(batch_queries) / sequential_best
         batched_qps = len(batch_queries) / batched_best
         speedup = batched_qps / sequential_qps
-        print(
-            f"{method}: batch {batched_qps:,.0f} q/s vs sequential "
-            f"{sequential_qps:,.0f} q/s -> {speedup:.2f}x "
-            f"({len(batch_queries)} queries)"
+        report.record(
+            f"{method} batch speedup",
+            speedup >= min_speedup,
+            f"{speedup:.2f}x ({batched_qps:,.0f} vs {sequential_qps:,.0f} q/s)",
+            f">= {min_speedup:.2f}x",
         )
-        if speedup < args.min_batch_speedup:
-            failures.append(
-                f"{method}: batch execution below the {args.min_batch_speedup:.2f}x gate "
-                f"({speedup:.2f}x)"
-            )
 
-    if failures:
-        for failure in failures:
-            print(f"PERF GATE FAILED: {failure}", file=sys.stderr)
-        return 1
-    print(
-        "perf gate passed: compiled beats reference and batch beats sequential "
-        "on the example venue"
+
+def check_parallel(
+    report: GateReport, compiled_engine, batch_queries, repetitions, workers, min_speedup
+) -> None:
+    for method in METHODS:
+        sequential_results = compiled_engine.run_batch(batch_queries, method=method, batch=False)
+        parallel_results = compiled_engine.run_batch(batch_queries, method=method, workers=workers)
+        disagreements = 0
+        for seq, par in zip(sequential_results, parallel_results):
+            if seq.found != par.found or seq.length != par.length:
+                disagreements += 1
+                continue
+            if any(
+                getattr(seq.statistics, key) != getattr(par.statistics, key)
+                for key in _STAT_KEYS
+            ):
+                disagreements += 1
+        report.record(
+            f"{method} parallel({workers})/sequential agreement",
+            disagreements == 0,
+            f"{disagreements} disagreements on {len(batch_queries)} queries",
+            "0 disagreements (incl. statistics)",
+        )
+
+        batched_best = parallel_best = float("inf")
+        for _ in range(repetitions):
+            batched = run_batch_query_set(
+                compiled_engine, batch_queries, method, repetitions=1, warmup=0, batch=True
+            )
+            parallel = run_batch_query_set(
+                compiled_engine,
+                batch_queries,
+                method,
+                repetitions=1,
+                warmup=0,
+                workers=workers,
+            )
+            batched_best = min(batched_best, batched.best_seconds)
+            parallel_best = min(parallel_best, parallel.best_seconds)
+        speedup = batched_best / parallel_best
+        report.record(
+            f"{method} parallel({workers}) speedup",
+            speedup >= min_speedup,
+            f"{speedup:.2f}x vs 1-process batch",
+            f">= {min_speedup:.2f}x" if min_speedup > 0 else "(informational)",
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repetitions", type=int, default=10, help="measurement repetitions per query"
     )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=1.5,
+        help="required batch-vs-sequential throughput ratio (default 1.5)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="also gate the multiprocess executor with this many workers (0 = skip)",
+    )
+    parser.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=0.0,
+        help="required parallel-vs-batch throughput ratio; 0 keeps the parallel "
+        "gate correctness-only (the CI default — speedup depends on core count)",
+    )
+    args = parser.parse_args(argv)
+    if args.workers == 1 or args.workers < 0:
+        parser.error("--workers must be >= 2 to exercise the pool (0 skips the parallel gates)")
+
+    itgraph = build_example_itgraph()
+    reference = ITSPQEngine(itgraph, compiled=False)
+    compiled_engine = ITSPQEngine(itgraph, compiled=True)
+    compiled_engine.ensure_compiled()
+
+    report = GateReport()
+    try:
+        check_compiled(report, reference, compiled_engine, build_workload(), args.repetitions)
+        batch_queries = build_batch_workload(itgraph)
+        check_batch(
+            report, compiled_engine, batch_queries, args.repetitions, args.min_batch_speedup
+        )
+        if args.workers > 1:
+            check_parallel(
+                report,
+                compiled_engine,
+                batch_queries,
+                args.repetitions,
+                args.workers,
+                args.min_parallel_speedup,
+            )
+    finally:
+        compiled_engine.close()
+
+    print()
+    print(report.summary_table())
+    failures = report.failures
+    if failures:
+        print()
+        for failure in failures:
+            print(
+                f"PERF GATE FAILED: {failure['check']} — {failure['measured']} "
+                f"(required {failure['required']})",
+                file=sys.stderr,
+            )
+        return 1
+    print()
+    print(f"perf gate passed: all {len(report.checks)} checks ok on the example venue")
     return 0
 
 

@@ -23,6 +23,10 @@ Contents
     Vectorised batch query execution: the reusable generation-stamped search
     arena, the common-source batch planner and the multi-target executor
     behind ``ITSPQEngine.run_batch``.
+:mod:`repro.core.parallel`
+    Multiprocess batch execution: planned groups fanned out over a pool of
+    worker processes (arena per worker, compiled index handed off in its
+    serialised ``repro.io`` form), behind ``ITSPQEngine.run_batch(workers=N)``.
 :mod:`repro.core.path` / :mod:`repro.core.query`
     Query and result value objects, including per-hop arrival times and
     re-validation of returned paths.
@@ -33,6 +37,7 @@ Contents
 
 from repro.core.batch import BatchExecutor, BatchGroup, BatchPlanner, SearchArena
 from repro.core.compiled import CompiledITGraph
+from repro.core.parallel import ParallelBatchExecutor
 from repro.core.itgraph import DoorRecord, ITGraph, PartitionRecord, build_itgraph
 from repro.core.snapshot import GraphSnapshot, GraphUpdater, IntervalBitsets
 from repro.core.tvcheck import (
@@ -58,6 +63,7 @@ __all__ = [
     "BatchExecutor",
     "BatchGroup",
     "BatchPlanner",
+    "ParallelBatchExecutor",
     "SearchArena",
     "CompiledITGraph",
     "GraphSnapshot",

@@ -326,14 +326,30 @@ class BatchExecutor:
         """Answer ``queries`` (canonical ``method_name``) and return results
         in input order."""
         results: List[Optional[QueryResult]] = [None] * len(queries)
-        for group in self._planner.plan(queries, method_name):
+        for order, result in self.run_planned(self._planner.plan(queries, method_name)):
+            results[order] = result
+        return results  # type: ignore[return-value]
+
+    def run_planned(self, groups: Sequence[BatchGroup]) -> List[Tuple[int, QueryResult]]:
+        """Execute already-planned groups; returns ``(member order, result)``
+        pairs in group-plan order.
+
+        This is the unit of work the multiprocess executor
+        (:mod:`repro.core.parallel`) ships to workers: groups are
+        self-contained, so any subset can run on any arena and the pairs
+        merge deterministically by member order.  ``runtime_seconds`` is the
+        group's wall time amortised over its members, as in
+        :meth:`run_batch`.
+        """
+        pairs: List[Tuple[int, QueryResult]] = []
+        for group in groups:
             started = time.perf_counter()
             targets = self._run_group(group)
             elapsed = (time.perf_counter() - started) / len(targets)
             for target in targets:
                 target.result.statistics.runtime_seconds = elapsed
-                results[target.order] = target.result
-        return results  # type: ignore[return-value]
+                pairs.append((target.order, target.result))
+        return pairs
 
     # -- the shared multi-target search ------------------------------------------------
 

@@ -38,11 +38,12 @@ from __future__ import annotations
 import math
 from array import array
 from bisect import bisect_right
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.itgraph import ITGraph
 from repro.core.snapshot import CompiledSnapshotStore, IntervalBitsets
 from repro.exceptions import UnknownEntityError
+from repro.indoor.entities import Partition
 
 #: ``(next_door_index, intra-partition leg metres)``
 CompiledEdge = Tuple[int, float]
@@ -89,6 +90,7 @@ class CompiledITGraph:
         "door_y",
         "door_floor",
         "leaveable_by_partition",
+        "locate_specs",
         "_locate_entries",
         "_locate_grid",
     )
@@ -191,32 +193,63 @@ class CompiledITGraph:
         ]
 
         # -- compiled point location -------------------------------------------
-        # Same first-match-in-insertion-order semantics as ``IndoorSpace.locate``
-        # but bucketed per floor with a flat bbox prefilter, so most partitions
-        # are rejected without any method call.  Bucketing preserves the
-        # insertion order within each floor (a point has exactly one floor, so
-        # the first bucketed match is the first global match), and the bbox
-        # test uses the same 1e-9 tolerance as the polygon containment tests,
-        # so it never rejects a partition the exact test would accept.
+        # ``locate_specs`` is the flat, serialisable source of the point
+        # location structures: one row per located partition, in the space's
+        # insertion order (which fixes first-match semantics).  The entry and
+        # grid build lives in :meth:`_install_point_location` so a graph
+        # rehydrated from the ``repro.io`` codec constructs identical
+        # structures from the same rows.
+        self.locate_specs: Tuple[Tuple[int, int, object, object], ...] = tuple(
+            (
+                self.partition_index[partition.partition_id],
+                partition.floor,
+                partition.spans_floors,
+                partition.polygon,
+            )
+            for partition in itgraph.space.iter_partitions()
+            if partition.polygon is not None
+        )
+        self._install_point_location()
+
+    def _install_point_location(self) -> None:
+        """Build the per-floor locate entries and grids from :attr:`locate_specs`.
+
+        Same first-match-in-insertion-order semantics as ``IndoorSpace.locate``
+        but bucketed per floor with a flat bbox prefilter, so most partitions
+        are rejected without any method call.  Bucketing preserves the
+        insertion order within each floor (a point has exactly one floor, so
+        the first bucketed match is the first global match), and the bbox
+        test uses the same 1e-9 tolerance as the polygon containment tests,
+        so it never rejects a partition the exact test would accept.
+
+        The containment probe is :meth:`Partition.contains_point` of a
+        partition rebuilt from the spec row — the method reads only the
+        polygon, floor and floor span, so the probe is bit-identical whether
+        the graph was compiled from an IT-Graph or rehydrated from bytes.
+        """
         locate_by_floor: Dict[int, List[Tuple[float, float, float, float, object, int]]] = {}
-        for partition in itgraph.space.iter_partitions():
-            if partition.polygon is None:
-                continue
-            if partition.spans_floors is not None:
-                floor_low, floor_high = partition.spans_floors
+        for pidx, floor, spans, polygon in self.locate_specs:
+            probe = Partition(
+                partition_id=self.partition_ids[pidx],
+                polygon=polygon,
+                floor=floor,
+                spans_floors=spans,
+            )
+            if spans is not None:
+                floor_low, floor_high = spans
             else:
-                floor_low = floor_high = partition.floor
-            box = partition.polygon.bounding_box
+                floor_low = floor_high = floor
+            box = polygon.bounding_box
             entry = (
                 box.min_x - 1e-9,
                 box.max_x + 1e-9,
                 box.min_y - 1e-9,
                 box.max_y + 1e-9,
-                partition.contains_point,
-                self.partition_index[partition.partition_id],
+                probe.contains_point,
+                pidx,
             )
-            for floor in range(floor_low, floor_high + 1):
-                locate_by_floor.setdefault(floor, []).append(entry)
+            for bucket_floor in range(floor_low, floor_high + 1):
+                locate_by_floor.setdefault(bucket_floor, []).append(entry)
         self._locate_entries = {floor: tuple(rows) for floor, rows in locate_by_floor.items()}
 
         # Uniform point-location grid per floor: each cell holds, in the same
@@ -228,6 +261,39 @@ class CompiledITGraph:
         self._locate_grid = {
             floor: self._build_floor_grid(rows) for floor, rows in self._locate_entries.items()
         }
+
+    @classmethod
+    def _from_state(cls, state: Dict[str, object]) -> "CompiledITGraph":
+        """Rebuild a compiled graph from the ``repro.io`` codec's state dict.
+
+        The rehydrated graph serves queries (sequential, batch and parallel)
+        with bit-identical results and statistics, but carries no
+        :class:`~repro.core.itgraph.ITGraph`: :attr:`itgraph` is ``None``,
+        which only matters to callers that want the object-level reference
+        engine.  This is what worker processes and future venue shards build
+        their executors from.
+        """
+        graph = object.__new__(cls)
+        graph.itgraph = None
+        graph.door_ids = list(state["door_ids"])
+        graph.door_index = {door_id: i for i, door_id in enumerate(graph.door_ids)}
+        graph.partition_ids = list(state["partition_ids"])
+        graph.partition_index = {pid: i for i, pid in enumerate(graph.partition_ids)}
+        graph.partition_private = list(state["partition_private"])
+        graph.partition_outdoor = list(state["partition_outdoor"])
+        graph.dm_arrays = list(state["dm_arrays"])
+        graph.dm_locals = list(state["dm_locals"])
+        graph.dm_sizes = [len(local) for local in graph.dm_locals]
+        graph.adjacency = tuple(state["adjacency"])
+        graph.ati_bounds = tuple(state["ati_bounds"])
+        graph.interval_bitsets = state["interval_bitsets"]
+        graph.door_x = state["door_x"]
+        graph.door_y = state["door_y"]
+        graph.door_floor = list(state["door_floor"])
+        graph.leaveable_by_partition = list(state["leaveable_by_partition"])
+        graph.locate_specs = tuple(state["locate_specs"])
+        graph._install_point_location()
+        return graph
 
     @staticmethod
     def _build_floor_grid(rows):
@@ -287,7 +353,7 @@ class CompiledITGraph:
         value = self.dm_arrays[partition_idx][row * self.dm_sizes[partition_idx] + column]
         if value != value:
             raise UnknownEntityError(
-                f"no intra-partition distance between doors "
+                "no intra-partition distance between doors "
                 f"{self.door_ids[door_a_idx]!r} and {self.door_ids[door_b_idx]!r}"
             )
         return value

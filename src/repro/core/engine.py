@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.constants import WALKING_SPEED_MPS
 from repro.core.batch import BatchExecutor
 from repro.core.compiled import COMPILED_KINDS, CompiledITGraph
+from repro.core.parallel import ParallelBatchExecutor, default_worker_count
 from repro.core.itgraph import ITGraph
 from repro.core.path import IndoorPath, PathHop
 from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
@@ -46,7 +47,7 @@ from repro.core.snapshot import CompiledSnapshotStore, GraphUpdater
 from repro.core.tvcheck import TVCheckStrategy, canonical_method, make_strategy
 from repro.exceptions import QueryError, UnknownEntityError
 from repro.geometry.point import IndoorPoint
-from repro.temporal.timeofday import TimeLike, TimeOfDay, as_time_of_day
+from repro.temporal.timeofday import TimeLike, TimeOfDay
 
 #: Sentinel node identifiers for the two query points in the search graph.
 SOURCE_NODE = "__source__"
@@ -114,6 +115,8 @@ class ITSPQEngine:
         self._compiled_graph: Optional[CompiledITGraph] = None
         self._compiled_store: Optional[CompiledSnapshotStore] = None
         self._batch_executor: Optional[BatchExecutor] = None
+        self._parallel_executors: Dict[int, ParallelBatchExecutor] = {}
+        self._compiled_payload: Optional[bytes] = None
 
     # -- public API ------------------------------------------------------------------
 
@@ -220,11 +223,53 @@ class ITSPQEngine:
             )
         return self._batch_executor
 
+    def parallel_executor(self, workers: Optional[int] = None) -> ParallelBatchExecutor:
+        """The engine's :class:`~repro.core.parallel.ParallelBatchExecutor`
+        for ``workers`` processes (built lazily, cached per worker count).
+
+        Executors share the engine's compiled graph, snapshot store, walking
+        speed and — crucially — one serialised index payload, so asking for
+        several pool sizes re-serialises nothing.  Call :meth:`close` (or
+        let the engine be garbage collected) to shut the pools down.
+        """
+        if not self._compiled_enabled:
+            raise QueryError("parallel batch execution requires the compiled fast path")
+        self.ensure_compiled()
+        count = int(workers) if workers is not None else default_worker_count()
+        if count < 1:
+            raise ValueError(f"worker count must be positive, got {workers}")
+        executor = self._parallel_executors.get(count)
+        if executor is None:
+            if self._compiled_payload is None:
+                from repro.io.compiled_codec import compiled_graph_to_bytes
+
+                self._compiled_payload = compiled_graph_to_bytes(self._compiled_graph)
+            executor = ParallelBatchExecutor(
+                self._compiled_graph,
+                count,
+                store=self._compiled_store,
+                walking_speed=self._walking_speed,
+                payload=self._compiled_payload,
+            )
+            self._parallel_executors[count] = executor
+        return executor
+
+    def close(self) -> None:
+        """Shut down any worker pools the engine's parallel executors own.
+
+        Sequential use never starts a pool, so calling this is only needed
+        after ``run_batch(workers=N)`` with ``N > 1``; it is idempotent and
+        the engine remains fully usable afterwards.
+        """
+        for executor in self._parallel_executors.values():
+            executor.close()
+
     def run_batch(
         self,
         queries: List[ITSPQuery],
         method: MethodLike = CheckMethod.SYNCHRONOUS,
         batch: bool = True,
+        workers: Optional[int] = None,
     ) -> List[QueryResult]:
         """Answer a list of queries with the same method.
 
@@ -236,12 +281,27 @@ class ITSPQEngine:
         parity suite enforces this); only ``runtime_seconds`` differs in
         meaning — it is the group's wall time amortised over its members.
 
+        ``workers=N`` with ``N > 1`` additionally fans the planned groups
+        out over a pool of worker processes (one search arena each, the
+        compiled index handed off in its serialised form); the merged
+        results stay bit-identical to sequential execution.  The pool is
+        cached on the engine — call :meth:`close` when done.
+
         ``batch=False`` (and any non-compiled engine) keeps the sequential
         one-search-per-query path, which serves as the batch parity oracle.
         Either way the method/strategy resolution is hoisted out of the
         per-query loop — it is resolved exactly once per call.
         """
         method_name = canonical_method(_normalise_method(method))
+        if workers is not None:
+            if workers < 1:
+                raise ValueError(f"worker count must be positive, got {workers}")
+            if workers > 1:
+                if not batch:
+                    raise QueryError("workers>1 requires batch execution (batch=True)")
+                return self.parallel_executor(workers).run_batch(queries, method_name)
+            # workers=1 is the explicit "no parallelism" request: fall through
+            # to the in-process paths below.
         if self._compiled_enabled:
             if batch:
                 return self.batch_executor().run_batch(queries, method_name)

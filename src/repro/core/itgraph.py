@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import types
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Mapping, Optional
 
 from repro.exceptions import UnknownEntityError
 from repro.geometry.point import IndoorPoint
 from repro.indoor.distance import DistanceMatrix, build_distance_matrices, point_to_door_distance
-from repro.indoor.entities import Door, DoorType, Partition, PartitionType
+from repro.indoor.entities import DoorType, Partition, PartitionType
 from repro.indoor.space import IndoorSpace
 from repro.indoor.topology import Topology
 from repro.temporal.atis import ATISet

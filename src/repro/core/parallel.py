@@ -1,0 +1,226 @@
+"""Multiprocess parallel batch execution over a serialisable compiled graph.
+
+The :class:`~repro.core.batch.BatchExecutor` makes batch groups independent
+by construction — every group is one self-contained multi-target search —
+but still answers them on a single core.  This module dispatches the groups
+of one plan across a pool of worker processes:
+
+Process model
+-------------
+* **Plan in the parent, search in the workers.**  The parent owns the real
+  :class:`~repro.core.compiled.CompiledITGraph` and runs the
+  :class:`~repro.core.batch.BatchPlanner` (endpoint location included), so
+  malformed queries fail fast with :class:`~repro.exceptions.QueryError`
+  before any work is shipped.
+* **Arena per worker.**  Each worker process owns one
+  :class:`~repro.core.batch.BatchExecutor` — and therefore one
+  generation-stamped :class:`~repro.core.batch.SearchArena` and one
+  :class:`~repro.core.snapshot.CompiledSnapshotStore` — reused across every
+  group and every ``run_batch`` call it serves.  Nothing is shared between
+  workers at search time, so there are no locks on the hot path.
+* **Serialised index hand-off.**  Workers rehydrate the compiled index from
+  the :mod:`repro.io.compiled_codec` payload (one compact ``bytes`` blob)
+  instead of recompiling the venue: startup cost is a flat decode,
+  identical under ``fork`` and ``spawn``, and the payload is computed once
+  per executor and reused by every worker.
+* **Chunked work stealing.**  The plan's groups are packed into roughly
+  size-balanced chunks (heaviest first, a few chunks per worker) and pulled
+  from a shared task queue via ``imap_unordered`` — an idle worker steals
+  the next chunk, so a straggler group cannot serialise the tail of the
+  batch.
+* **Deterministic merge.**  Every result carries its query's input-order
+  index, and each group's results are computed entirely within one worker,
+  so the merged output — ordering, paths, lengths and every
+  :class:`~repro.core.query.SearchStatistics` counter — is bit-identical to
+  sequential execution no matter how chunks are scheduled
+  (``tests/test_parallel_parity.py`` enforces this).  Only
+  ``runtime_seconds`` keeps its batch semantics (group wall time amortised
+  over members, measured on the worker that ran the group).
+
+On a single-core host the pool only adds IPC overhead; sizing the pool is
+the caller's job (``benchmarks/bench_parallel_scaling.py`` measures the
+scaling curve and records the host's CPU count alongside it).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.constants import WALKING_SPEED_MPS
+from repro.core.batch import BatchExecutor, BatchGroup, BatchPlanner
+from repro.core.compiled import CompiledITGraph
+from repro.core.query import ITSPQuery, QueryResult
+from repro.core.snapshot import CompiledSnapshotStore
+
+#: The per-process executor over the rehydrated index (set by the pool
+#: initializer; one per worker process, never shared).
+_WORKER_EXECUTOR: Optional[BatchExecutor] = None
+
+
+def _init_worker(payload: bytes, walking_speed: float) -> None:
+    """Pool initializer: rehydrate the compiled index and build the arena.
+
+    Runs once per worker process.  Workers never see IT-Graph objects — the
+    codec payload is the only hand-off — so startup is one flat decode
+    regardless of venue complexity and identical under every
+    multiprocessing start method.
+    """
+    global _WORKER_EXECUTOR
+    from repro.io.compiled_codec import compiled_graph_from_bytes
+
+    _WORKER_EXECUTOR = BatchExecutor(
+        compiled_graph_from_bytes(payload), walking_speed=walking_speed
+    )
+
+
+def _run_chunk(groups: List[BatchGroup]) -> List[Tuple[int, QueryResult]]:
+    """Execute one stolen chunk of groups on this worker's executor."""
+    return _WORKER_EXECUTOR.run_planned(groups)
+
+
+def default_worker_count() -> int:
+    """The host's usable CPU count (the pool size ``workers=None`` implies)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return max(1, os.cpu_count() or 1)
+
+
+class ParallelBatchExecutor:
+    """Answers ITSPQ workloads by dispatching planned batch groups over a
+    pool of worker processes (see the module docstring for the process
+    model).
+
+    The pool is created lazily on the first parallel ``run_batch`` and
+    reused across calls; :meth:`close` (or use as a context manager) shuts
+    it down.  With ``workers=1`` — or whenever a plan has too few groups to
+    be worth shipping — execution stays in-process on the local executor,
+    so small batches never pay IPC costs.
+    """
+
+    def __init__(
+        self,
+        compiled_graph: CompiledITGraph,
+        workers: int,
+        store: Optional[CompiledSnapshotStore] = None,
+        walking_speed: float = WALKING_SPEED_MPS,
+        chunks_per_worker: int = 4,
+        start_method: Optional[str] = None,
+        payload: Optional[bytes] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"worker count must be positive, got {workers}")
+        if chunks_per_worker < 1:
+            raise ValueError(f"chunks per worker must be positive, got {chunks_per_worker}")
+        self._workers = int(workers)
+        self._chunks_per_worker = int(chunks_per_worker)
+        self._local = BatchExecutor(compiled_graph, store, walking_speed)
+        self._speed = walking_speed
+        self._payload = payload
+        self._start_method = start_method
+        self._pool = None
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Size of the worker pool."""
+        return self._workers
+
+    @property
+    def graph(self) -> CompiledITGraph:
+        """The compiled graph the parent plans over."""
+        return self._local.graph
+
+    @property
+    def planner(self) -> BatchPlanner:
+        """The parent-side workload planner."""
+        return self._local.planner
+
+    def payload_bytes(self) -> bytes:
+        """The serialised index workers rehydrate from (built lazily once)."""
+        if self._payload is None:
+            from repro.io.compiled_codec import compiled_graph_to_bytes
+
+            self._payload = compiled_graph_to_bytes(self._local.graph)
+        return self._payload
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_batch(self, queries: Sequence[ITSPQuery], method_name: str) -> List[QueryResult]:
+        """Answer ``queries`` (canonical ``method_name``); results in input
+        order, bit-identical to :meth:`BatchExecutor.run_batch`."""
+        groups = self._local.planner.plan(queries, method_name)
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+        if self._workers <= 1 or len(groups) <= 1:
+            for order, result in self._local.run_planned(groups):
+                results[order] = result
+            return results  # type: ignore[return-value]
+        pool = self._ensure_pool()
+        for pairs in pool.imap_unordered(_run_chunk, self._chunk(groups)):
+            for order, result in pairs:
+                results[order] = result
+        return results  # type: ignore[return-value]
+
+    def _chunk(self, groups: Sequence[BatchGroup]) -> List[List[BatchGroup]]:
+        """Pack groups into size-balanced chunks for the stealing queue.
+
+        Groups are distributed greedily by descending member count into
+        ``workers * chunks_per_worker`` chunks (ties broken by plan order,
+        so chunking is deterministic), and the heaviest chunks are emitted
+        first: a worker that finishes a light chunk steals the next one
+        while a heavy chunk is still running elsewhere.
+        """
+        chunk_count = min(len(groups), self._workers * self._chunks_per_worker)
+        order = sorted(range(len(groups)), key=lambda index: (-groups[index].size, index))
+        chunks: List[List[BatchGroup]] = [[] for _ in range(chunk_count)]
+        weights = [0] * chunk_count
+        for index in order:
+            lightest = min(range(chunk_count), key=weights.__getitem__)
+            chunks[lightest].append(groups[index])
+            # Every group pays one fixed search setup on top of its members.
+            weights[lightest] += groups[index].size + 1
+        emit = sorted(range(chunk_count), key=lambda chunk: (-weights[chunk], chunk))
+        return [chunks[chunk] for chunk in emit]
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            method = self._start_method
+            if method is None:
+                # ``fork`` starts workers in milliseconds and is available on
+                # every platform the benchmarks target; elsewhere fall back
+                # to the platform default (the codec hand-off makes workers
+                # identical either way).
+                method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            context = multiprocessing.get_context(method)
+            self._pool = context.Pool(
+                processes=self._workers,
+                initializer=_init_worker,
+                initargs=(self.payload_bytes(), self._speed),
+            )
+        return self._pool
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the executor stays usable —
+        the next parallel call starts a fresh pool)."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "ParallelBatchExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

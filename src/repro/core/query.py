@@ -60,6 +60,25 @@ class SearchStatistics:
     ITG/A).
     """
 
+    #: The deterministic counters, i.e. every field that must be bit-identical
+    #: across execution tiers (sequential, compiled, batch, parallel) for the
+    #: same query — everything except ``runtime_seconds`` and ``extra``.  The
+    #: parity gates and benchmarks iterate this instead of hand-maintaining
+    #: their own field lists, so a newly added counter is gated automatically.
+    COUNTER_FIELDS = (
+        "doors_settled",
+        "relaxations",
+        "heap_pushes",
+        "heap_pops",
+        "partitions_expanded",
+        "private_partitions_pruned",
+        "temporally_pruned_doors",
+        "ati_probes",
+        "snapshot_refreshes",
+        "membership_checks",
+        "peak_heap_size",
+    )
+
     doors_settled: int = 0
     relaxations: int = 0
     heap_pushes: int = 0

@@ -180,6 +180,24 @@ class IntervalBitsets:
         self._starts = starts
         self._bitsets = bitsets
 
+    @classmethod
+    def _from_state(cls, starts: Sequence[float], bitsets: Sequence[bytes]) -> "IntervalBitsets":
+        """Rebuild bitsets from already-computed state (the ``repro.io`` codec).
+
+        The rehydrated instance is indistinguishable from one built against
+        the original IT-Graph: the starts and flag arrays *are* the whole
+        state, so every probe — and therefore every ITG/A counter — matches
+        bit for bit.
+        """
+        if len(starts) != len(bitsets):
+            raise ValueError(
+                f"interval starts and bitsets disagree: {len(starts)} vs {len(bitsets)}"
+            )
+        instance = object.__new__(cls)
+        instance._starts = [float(start) for start in starts]
+        instance._bitsets = [bytes(flags) for flags in bitsets]
+        return instance
+
     @property
     def starts(self) -> List[float]:
         """The interval start instants in increasing order (seconds)."""

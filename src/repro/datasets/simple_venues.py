@@ -12,7 +12,6 @@ from repro.core.itgraph import ITGraph, build_itgraph
 from repro.geometry.point import IndoorPoint
 from repro.indoor.builder import IndoorSpaceBuilder
 from repro.indoor.entities import PartitionCategory, PartitionType
-from repro.indoor.space import IndoorSpace
 from repro.temporal.schedule import DoorSchedule
 
 

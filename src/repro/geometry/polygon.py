@@ -8,7 +8,6 @@ general :class:`Polygon` is nevertheless provided so hand-modelled venues
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 

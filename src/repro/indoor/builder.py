@@ -9,11 +9,11 @@ and staircases between floors.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.constants import DEFAULT_STAIRWAY_LENGTH_M
 from repro.exceptions import TopologyError
-from repro.geometry.point import IndoorPoint, Point2D
+from repro.geometry.point import IndoorPoint
 from repro.geometry.polygon import Polygon, Rectangle
 from repro.indoor.entities import (
     Door,

@@ -8,7 +8,7 @@ knows nothing about temporal variation — that is layered on top by a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import DuplicateEntityError, TopologyError, UnknownEntityError
 from repro.geometry.point import IndoorPoint

@@ -3,13 +3,19 @@
 The format is deliberately plain: every entity becomes a dictionary of
 primitive values so the documents can be produced by other tools (building
 information systems, map digitisers) without depending on this library.
+
+The one non-JSON format lives in :mod:`repro.io.compiled_codec`: the binary
+payload of a compiled query index, whose floats must round-trip *exactly*
+(bit-identical query answers are the contract).  :func:`save_compiled_graph`
+and :func:`load_compiled_graph` below are the file-level conveniences over
+that codec.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Sequence, Union
+from typing import Any, Dict, List, Sequence, Union
 
 from repro.core.query import ITSPQuery
 from repro.exceptions import SerializationError
@@ -199,3 +205,25 @@ def load_json(path: Union[str, Path]) -> Dict[str, Any]:
         return json.loads(Path(path).read_text())
     except json.JSONDecodeError as exc:
         raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+
+
+def save_compiled_graph(graph, path: Union[str, Path]) -> Path:
+    """Write a compiled query index as a binary payload and return the path.
+
+    The payload is the :mod:`repro.io.compiled_codec` format: versioned,
+    self-contained and round-trip exact, so a service can compile a venue
+    once offline and serve it from any number of processes.
+    """
+    from repro.io.compiled_codec import compiled_graph_to_bytes
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_bytes(compiled_graph_to_bytes(graph))
+    return target
+
+
+def load_compiled_graph(path: Union[str, Path]):
+    """Load a compiled query index written by :func:`save_compiled_graph`."""
+    from repro.io.compiled_codec import compiled_graph_from_bytes
+
+    return compiled_graph_from_bytes(Path(path).read_bytes())

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.constants import DEFAULT_FLOOR_SIDE_M
 from repro.geometry.point import IndoorPoint

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.constants import DEFAULT_STAIRWAY_LENGTH_M
 from repro.geometry.point import IndoorPoint

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.harness import ExperimentResult, run_query_set
 from repro.bench.reporting import format_experiment, format_table, summarise_speedup
-from repro.core.engine import CheckMethod, ITSPQEngine
+from repro.core.engine import CheckMethod
 from repro.core.query import ITSPQuery
 
 

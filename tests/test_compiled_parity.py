@@ -25,7 +25,6 @@ from repro.core.compiled import (
 )
 from repro.core.engine import ITSPQEngine
 from repro.core.tvcheck import make_strategy
-from repro.datasets.example_floorplan import build_example_itgraph, example_query_points
 from repro.datasets.simple_venues import build_corridor_venue, build_two_room_venue
 from repro.exceptions import QueryError, UnknownEntityError
 from repro.geometry.point import IndoorPoint

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.engine import CheckMethod, ITSPQEngine
+from repro.core.engine import CheckMethod
 
 
 class TestExample1:

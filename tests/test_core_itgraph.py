@@ -6,7 +6,6 @@ from repro.core.itgraph import build_itgraph
 from repro.datasets.example_floorplan import TABLE_I_ATIS
 from repro.datasets.simple_venues import build_two_room_venue
 from repro.exceptions import UnknownEntityError
-from repro.geometry.point import IndoorPoint
 from repro.indoor.entities import DoorType
 from repro.temporal.atis import ATISet
 

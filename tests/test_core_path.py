@@ -3,7 +3,6 @@
 import pytest
 
 from repro.constants import WALKING_SPEED_MPS
-from repro.core.engine import ITSPQEngine
 from repro.core.path import IndoorPath, PathHop
 from repro.geometry.point import IndoorPoint
 from repro.temporal.timeofday import TimeOfDay

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.engine import CheckMethod, ITSPQEngine
+from repro.core.engine import ITSPQEngine
 from repro.core.reference import (
     ReferenceAnswer,
     selection_dijkstra_reference,

@@ -1,6 +1,5 @@
 """Tests for polygons, rectangles and bounding boxes."""
 
-import math
 
 import pytest
 

@@ -7,7 +7,6 @@ from repro.core.itgraph import build_itgraph
 from repro.core.query import ITSPQuery
 from repro.datasets.example_floorplan import (
     build_example_schedule,
-    build_example_space,
     example_query_points,
 )
 from repro.exceptions import SerializationError

@@ -12,7 +12,6 @@ door schedules):
 
 import math
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

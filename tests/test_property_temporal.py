@@ -1,6 +1,6 @@
 """Property-based tests for the temporal substrate (hypothesis)."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.constants import SECONDS_PER_DAY

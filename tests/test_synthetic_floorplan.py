@@ -1,10 +1,9 @@
 """Tests for the synthetic mall floor and multi-floor venue generators."""
 
-import random
 
 import pytest
 
-from repro.indoor.entities import PartitionCategory, PartitionType
+from repro.indoor.entities import PartitionCategory
 from repro.synthetic.floorplan import MallFloorConfig, generate_mall_floor
 from repro.synthetic.multifloor import MultiFloorConfig, generate_mall_venue
 

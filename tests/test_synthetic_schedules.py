@@ -1,6 +1,5 @@
 """Tests for the opening-hours model and schedule generation."""
 
-import random
 
 import pytest
 
