@@ -168,6 +168,7 @@ def main(argv=None) -> int:
     )
 
     rows = []
+    execution_reports = {}
     try:
         for method in METHODS:
             assert_parity(engine, queries, method, workers=max(worker_counts))
@@ -191,6 +192,18 @@ def main(argv=None) -> int:
                     )
                 if workers == 1:
                     baseline = measurement
+                # The supervision counters of the last timed run: a bench
+                # number measured on a degraded pool (retries, respawns,
+                # in-process fallbacks) is not a pool measurement at all, so
+                # the record keeps the evidence next to the throughput.
+                last_report = engine.last_execution_report
+                if workers is not None and last_report is not None:
+                    execution_reports[f"{method} {mode}"] = last_report.as_dict()
+                    if not last_report.clean:
+                        print(
+                            f"WARNING: degraded execution while timing {method} {mode}: "
+                            f"{last_report.summary()}"
+                        )
                 rows.append(
                     {
                         "method": method,
@@ -235,6 +248,12 @@ def main(argv=None) -> int:
         "payload_bytes": payload_bytes,
         "summary": summary,
         "rows": rows,
+        "execution_reports": execution_reports,
+        "all_runs_clean": all(
+            entry.get("clean", False) for entry in execution_reports.values()
+        )
+        if execution_reports
+        else None,
     }
     args.output.write_text(json.dumps(record, indent=2) + "\n")
 

@@ -25,7 +25,14 @@ Intended for CI/pre-merge use, on the paper's running-example floorplan
 Every check runs to completion and the script always prints one summary
 table covering all of them, so a CI log shows every regression at once
 instead of stopping at the first failed gate; the exit status is non-zero
-when any check failed.
+when any check failed.  A gate that *crashes* (rather than measuring a
+regression) is reported the same way — one ``FAIL`` row carrying a one-line
+``ExceptionType: message`` diagnosis instead of a traceback — so the
+summary table stays the single place to read the outcome.  The parallel
+gates additionally assert execution *health*: the run's
+:class:`~repro.core.parallel.ExecutionReport` must be clean (zero retries,
+zero fallbacks, zero respawns), so a pool that silently limps through on
+its degradation ladder fails the gate even though its answers are exact.
 
 Usage::
 
@@ -117,6 +124,19 @@ class GateReport:
         return format_table(self.checks, columns=("check", "status", "measured", "required"))
 
 
+def run_gate(report: GateReport, name: str, gate, *args) -> None:
+    """Run one gate; a crash becomes a FAIL row with a one-line diagnosis."""
+    try:
+        gate(report, *args)
+    except Exception as exc:  # noqa: BLE001 - the diagnosis row is the point
+        report.record(
+            f"{name} gate crashed",
+            False,
+            f"{type(exc).__name__}: {exc}",
+            "gate runs to completion",
+        )
+
+
 def check_compiled(report: GateReport, reference, compiled_engine, queries, repetitions) -> None:
     for method in METHODS:
         disagreements = 0
@@ -204,6 +224,16 @@ def check_parallel(
             f"{disagreements} disagreements on {len(batch_queries)} queries",
             "0 disagreements (incl. statistics)",
         )
+        # The agreement run's ExecutionReport: exact answers are necessary
+        # but not sufficient — the pool must also have stayed on its top
+        # rung (no retries, no respawns, no in-process fallbacks).
+        health = compiled_engine.last_execution_report
+        report.record(
+            f"{method} parallel({workers}) execution health",
+            health is not None and health.clean,
+            health.summary() if health is not None else "no execution report",
+            "clean (0 retries/respawns/fallbacks)",
+        )
 
         batched_best = parallel_best = float("inf")
         for _ in range(repetitions):
@@ -264,14 +294,30 @@ def main(argv=None) -> int:
 
     report = GateReport()
     try:
-        check_compiled(report, reference, compiled_engine, build_workload(), args.repetitions)
+        run_gate(
+            report,
+            "compiled",
+            check_compiled,
+            reference,
+            compiled_engine,
+            build_workload(),
+            args.repetitions,
+        )
         batch_queries = build_batch_workload(itgraph)
-        check_batch(
-            report, compiled_engine, batch_queries, args.repetitions, args.min_batch_speedup
+        run_gate(
+            report,
+            "batch",
+            check_batch,
+            compiled_engine,
+            batch_queries,
+            args.repetitions,
+            args.min_batch_speedup,
         )
         if args.workers > 1:
-            check_parallel(
+            run_gate(
                 report,
+                "parallel",
+                check_parallel,
                 compiled_engine,
                 batch_queries,
                 args.repetitions,

@@ -53,12 +53,17 @@ from repro.core import (
     static_shortest_path,
 )
 from repro.exceptions import (
+    ChunkTimeoutError,
+    CorruptPayloadError,
     InvalidGeometryError,
     InvalidTimeError,
     NoPathExistsError,
+    ParallelExecutionError,
     QueryError,
     ReproError,
+    SerializationError,
     TopologyError,
+    WorkerCrashError,
 )
 from repro.geometry import IndoorPoint, Point2D
 from repro.indoor import (
@@ -116,6 +121,11 @@ __all__ = [
     "TopologyError",
     "QueryError",
     "NoPathExistsError",
+    "SerializationError",
+    "CorruptPayloadError",
+    "ParallelExecutionError",
+    "WorkerCrashError",
+    "ChunkTimeoutError",
     # subpackages
     "datasets",
     "geometry",

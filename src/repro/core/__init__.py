@@ -24,9 +24,14 @@ Contents
     arena, the common-source batch planner and the multi-target executor
     behind ``ITSPQEngine.run_batch``.
 :mod:`repro.core.parallel`
-    Multiprocess batch execution: planned groups fanned out over a pool of
-    worker processes (arena per worker, compiled index handed off in its
-    serialised ``repro.io`` form), behind ``ITSPQEngine.run_batch(workers=N)``.
+    Supervised multiprocess batch execution: planned groups fanned out as
+    tracked, retryable chunks over a pool of worker processes (arena per
+    worker, compiled index handed off in its serialised ``repro.io`` form),
+    with a degradation ladder — retry on a respawned pool, then in-process
+    fallback — that keeps ``ITSPQEngine.run_batch(workers=N)`` bit-identical
+    to sequential execution even under worker crashes, chunk timeouts and
+    corrupt rehydration payloads.  Every run is summarised by an
+    ``ExecutionReport``.
 :mod:`repro.core.path` / :mod:`repro.core.query`
     Query and result value objects, including per-hop arrival times and
     re-validation of returned paths.
@@ -37,7 +42,7 @@ Contents
 
 from repro.core.batch import BatchExecutor, BatchGroup, BatchPlanner, SearchArena
 from repro.core.compiled import CompiledITGraph
-from repro.core.parallel import ParallelBatchExecutor
+from repro.core.parallel import ExecutionReport, ParallelBatchExecutor, default_worker_count
 from repro.core.itgraph import DoorRecord, ITGraph, PartitionRecord, build_itgraph
 from repro.core.snapshot import GraphSnapshot, GraphUpdater, IntervalBitsets
 from repro.core.tvcheck import (
@@ -63,8 +68,10 @@ __all__ = [
     "BatchExecutor",
     "BatchGroup",
     "BatchPlanner",
+    "ExecutionReport",
     "ParallelBatchExecutor",
     "SearchArena",
+    "default_worker_count",
     "CompiledITGraph",
     "GraphSnapshot",
     "GraphUpdater",

@@ -183,9 +183,12 @@ class BatchGroup:
         "rep_seconds",
         "allowed_private",
         "members",
+        "sequence",
     )
 
-    def __init__(self, kind, method_label, source, source_pidx, rep_seconds, allowed_private):
+    def __init__(
+        self, kind, method_label, source, source_pidx, rep_seconds, allowed_private, sequence=-1
+    ):
         self.kind = kind
         self.method_label = method_label
         self.source = source
@@ -195,6 +198,10 @@ class BatchGroup:
         self.rep_seconds = rep_seconds
         self.allowed_private = allowed_private
         self.members: List[Tuple[int, ITSPQuery, int]] = []
+        #: Plan-order index stamped by :class:`BatchPlanner` — the stable
+        #: identity the supervised parallel executor uses to name a group in
+        #: retry bookkeeping and failure diagnostics.
+        self.sequence = sequence
 
     @property
     def size(self) -> int:
@@ -279,7 +286,9 @@ class BatchPlanner:
                     if privacy_key < 0
                     else frozenset((source_pidx, target_pidx))
                 )
-                group = BatchGroup(kind, method_label, source, source_pidx, query_seconds, allowed)
+                group = BatchGroup(
+                    kind, method_label, source, source_pidx, query_seconds, allowed, len(groups)
+                )
                 groups[key] = group
             group.members.append((index, query, target_pidx))
         return list(groups.values())
@@ -311,6 +320,9 @@ class BatchExecutor:
         self._speed = walking_speed
         self._planner = BatchPlanner(compiled_graph)
         self._arena = SearchArena(compiled_graph.door_count + 2)
+        #: Group count of the most recent run (planned here or handed in via
+        #: :meth:`run_planned`) — observability for execution reports.
+        self.last_group_count = 0
 
     @property
     def graph(self) -> CompiledITGraph:
@@ -341,6 +353,7 @@ class BatchExecutor:
         group's wall time amortised over its members, as in
         :meth:`run_batch`.
         """
+        self.last_group_count = len(groups)
         pairs: List[Tuple[int, QueryResult]] = []
         for group in groups:
             started = time.perf_counter()

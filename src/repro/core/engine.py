@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.constants import WALKING_SPEED_MPS
 from repro.core.batch import BatchExecutor
 from repro.core.compiled import COMPILED_KINDS, CompiledITGraph
-from repro.core.parallel import ParallelBatchExecutor, default_worker_count
+from repro.core.parallel import ExecutionReport, ParallelBatchExecutor, default_worker_count
 from repro.core.itgraph import ITGraph
 from repro.core.path import IndoorPath, PathHop
 from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
@@ -117,6 +117,7 @@ class ITSPQEngine:
         self._batch_executor: Optional[BatchExecutor] = None
         self._parallel_executors: Dict[int, ParallelBatchExecutor] = {}
         self._compiled_payload: Optional[bytes] = None
+        self._last_execution_report: Optional[ExecutionReport] = None
 
     # -- public API ------------------------------------------------------------------
 
@@ -139,6 +140,17 @@ class ITSPQEngine:
     def compiled(self) -> bool:
         """Whether the integer-indexed compiled fast path is enabled."""
         return self._compiled_enabled
+
+    @property
+    def last_execution_report(self) -> Optional[ExecutionReport]:
+        """The :class:`~repro.core.parallel.ExecutionReport` of the most
+        recent :meth:`run_batch` call (``None`` before the first one).
+
+        Parallel runs report the supervised pool's full failure/recovery
+        counters; in-process runs report zeros with the matching mode, so
+        callers can always inspect ``report.clean`` regardless of path.
+        """
+        return self._last_execution_report
 
     def ensure_compiled(self) -> CompiledITGraph:
         """Force the (otherwise lazy) compiled index build and return it.
@@ -223,14 +235,21 @@ class ITSPQEngine:
             )
         return self._batch_executor
 
-    def parallel_executor(self, workers: Optional[int] = None) -> ParallelBatchExecutor:
+    def parallel_executor(self, workers: Optional[int] = None, **options) -> ParallelBatchExecutor:
         """The engine's :class:`~repro.core.parallel.ParallelBatchExecutor`
         for ``workers`` processes (built lazily, cached per worker count).
 
         Executors share the engine's compiled graph, snapshot store, walking
         speed and — crucially — one serialised index payload, so asking for
         several pool sizes re-serialises nothing.  Call :meth:`close` (or
-        let the engine be garbage collected) to shut the pools down.
+        use the engine as a context manager) to shut the pools down.
+
+        Supervision ``options`` (``max_chunk_retries``, ``chunk_timeout``,
+        ``backoff_base``, ``backoff_cap``, ``in_process_fallback``,
+        ``fault_plan``, ``chunks_per_worker``, ``start_method``) are passed
+        through to the executor constructor.  Passing any option replaces a
+        previously cached executor for that worker count (its pool is closed
+        first), so chaos tests can retune the same engine between runs.
         """
         if not self._compiled_enabled:
             raise QueryError("parallel batch execution requires the compiled fast path")
@@ -239,7 +258,9 @@ class ITSPQEngine:
         if count < 1:
             raise ValueError(f"worker count must be positive, got {workers}")
         executor = self._parallel_executors.get(count)
-        if executor is None:
+        if executor is None or options:
+            if executor is not None:
+                executor.close()
             if self._compiled_payload is None:
                 from repro.io.compiled_codec import compiled_graph_to_bytes
 
@@ -250,6 +271,7 @@ class ITSPQEngine:
                 store=self._compiled_store,
                 walking_speed=self._walking_speed,
                 payload=self._compiled_payload,
+                **options,
             )
             self._parallel_executors[count] = executor
         return executor
@@ -258,11 +280,20 @@ class ITSPQEngine:
         """Shut down any worker pools the engine's parallel executors own.
 
         Sequential use never starts a pool, so calling this is only needed
-        after ``run_batch(workers=N)`` with ``N > 1``; it is idempotent and
-        the engine remains fully usable afterwards.
+        after ``run_batch(workers=N)`` with ``N > 1``.  Safe to call any
+        number of times — including again after further parallel runs, which
+        simply start fresh pools — and the engine remains fully usable
+        afterwards.  Also invoked by the executors' ``atexit`` guard, so a
+        process that forgets to call it still exits cleanly.
         """
         for executor in self._parallel_executors.values():
             executor.close()
+
+    def __enter__(self) -> "ITSPQEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def run_batch(
         self,
@@ -291,6 +322,11 @@ class ITSPQEngine:
         one-search-per-query path, which serves as the batch parity oracle.
         Either way the method/strategy resolution is hoisted out of the
         per-query loop — it is resolved exactly once per call.
+
+        Every call leaves an :class:`~repro.core.parallel.ExecutionReport`
+        on :attr:`last_execution_report` describing how the workload was
+        executed (and, for a worker pool, what failed and how it was
+        recovered).
         """
         method_name = canonical_method(_normalise_method(method))
         if workers is not None:
@@ -299,12 +335,26 @@ class ITSPQEngine:
             if workers > 1:
                 if not batch:
                     raise QueryError("workers>1 requires batch execution (batch=True)")
-                return self.parallel_executor(workers).run_batch(queries, method_name)
+                executor = self.parallel_executor(workers)
+                results = executor.run_batch(queries, method_name)
+                self._last_execution_report = executor.last_report
+                return results
             # workers=1 is the explicit "no parallelism" request: fall through
             # to the in-process paths below.
+        started_call = time.perf_counter()
         if self._compiled_enabled:
             if batch:
-                return self.batch_executor().run_batch(queries, method_name)
+                batch_executor = self.batch_executor()
+                results = batch_executor.run_batch(queries, method_name)
+                self._last_execution_report = ExecutionReport(
+                    mode="batched",
+                    workers=1,
+                    usable_cpus=default_worker_count(),
+                    queries=len(queries),
+                    groups=batch_executor.last_group_count,
+                    elapsed_seconds=time.perf_counter() - started_call,
+                )
+                return results
             self.ensure_compiled()
             results = []
             for query in queries:
@@ -312,16 +362,26 @@ class ITSPQEngine:
                 result = self._search_compiled(query, method_name)
                 result.statistics.runtime_seconds = time.perf_counter() - started
                 results.append(result)
-            return results
-        # Reference engine: one strategy instance, reset per query by
-        # ``begin_query`` — identical results to per-query construction.
-        strategy = make_strategy(method_name, self._itgraph, self._updater, self._walking_speed)
-        results = []
-        for query in queries:
-            started = time.perf_counter()
-            result = self._search(query, strategy)
-            result.statistics.runtime_seconds = time.perf_counter() - started
-            results.append(result)
+        else:
+            # Reference engine: one strategy instance, reset per query by
+            # ``begin_query`` — identical results to per-query construction.
+            strategy = make_strategy(
+                method_name, self._itgraph, self._updater, self._walking_speed
+            )
+            results = []
+            for query in queries:
+                started = time.perf_counter()
+                result = self._search(query, strategy)
+                result.statistics.runtime_seconds = time.perf_counter() - started
+                results.append(result)
+        self._last_execution_report = ExecutionReport(
+            mode="sequential",
+            workers=1,
+            usable_cpus=default_worker_count(),
+            queries=len(queries),
+            groups=len(queries),
+            elapsed_seconds=time.perf_counter() - started_call,
+        )
         return results
 
     # -- the search (Algorithm 1) ----------------------------------------------------------

@@ -1,9 +1,11 @@
-"""Multiprocess parallel batch execution over a serialisable compiled graph.
+"""Supervised multiprocess parallel batch execution over a serialisable
+compiled graph.
 
 The :class:`~repro.core.batch.BatchExecutor` makes batch groups independent
 by construction — every group is one self-contained multi-target search —
 but still answers them on a single core.  This module dispatches the groups
-of one plan across a pool of worker processes:
+of one plan across a pool of worker processes **and supervises the pool**:
+workers can crash, hang or fail to come up without poisoning the answer.
 
 Process model
 -------------
@@ -16,88 +18,313 @@ Process model
   :class:`~repro.core.batch.BatchExecutor` — and therefore one
   generation-stamped :class:`~repro.core.batch.SearchArena` and one
   :class:`~repro.core.snapshot.CompiledSnapshotStore` — reused across every
-  group and every ``run_batch`` call it serves.  Nothing is shared between
+  chunk and every ``run_batch`` call it serves.  Nothing is shared between
   workers at search time, so there are no locks on the hot path.
 * **Serialised index hand-off.**  Workers rehydrate the compiled index from
   the :mod:`repro.io.compiled_codec` payload (one compact ``bytes`` blob)
-  instead of recompiling the venue: startup cost is a flat decode,
-  identical under ``fork`` and ``spawn``, and the payload is computed once
-  per executor and reused by every worker.
-* **Chunked work stealing.**  The plan's groups are packed into roughly
-  size-balanced chunks (heaviest first, a few chunks per worker) and pulled
-  from a shared task queue via ``imap_unordered`` — an idle worker steals
-  the next chunk, so a straggler group cannot serialise the tail of the
-  batch.
+  instead of recompiling the venue; since the codec grew CRC32 integrity
+  sections, a payload damaged in flight fails the worker's initializer with
+  :class:`~repro.exceptions.CorruptPayloadError` instead of decoding into a
+  wrong index — the supervisor treats that like any other worker-startup
+  death (see the failure model below).
+* **Tracked, retryable chunks.**  The plan's groups are packed into roughly
+  size-balanced chunks (heaviest first, a few chunks per worker); each
+  chunk is dispatched as its own :class:`concurrent.futures.Future` with at
+  most one in-flight chunk per worker, so an idle worker picks up the next
+  chunk (work stealing) and the per-chunk timeout clock never runs on a
+  chunk that is merely queued.
 * **Deterministic merge.**  Every result carries its query's input-order
-  index, and each group's results are computed entirely within one worker,
-  so the merged output — ordering, paths, lengths and every
-  :class:`~repro.core.query.SearchStatistics` counter — is bit-identical to
-  sequential execution no matter how chunks are scheduled
-  (``tests/test_parallel_parity.py`` enforces this).  Only
+  index, each group's results are computed entirely within one worker, and
+  chunk execution is a pure function of the chunk's groups — so the merged
+  output (ordering, paths, lengths and every
+  :class:`~repro.core.query.SearchStatistics` counter) is bit-identical to
+  sequential execution no matter how chunks are scheduled, retried or
+  recovered (``tests/test_parallel_parity.py`` and
+  ``tests/test_fault_injection.py`` enforce this).  Only
   ``runtime_seconds`` keeps its batch semantics (group wall time amortised
-  over members, measured on the worker that ran the group).
+  over members, measured wherever the group finally ran).
+
+Failure model — the degradation ladder
+--------------------------------------
+``run_batch`` treats every chunk as a tracked unit of work and climbs the
+following rungs until the chunk's results exist:
+
+1. **Dispatch** on the pool.  A chunk whose worker answers normally is done.
+2. **Retry.**  A chunk whose worker raised an exception is resubmitted to
+   the (still healthy) pool.  A chunk whose worker died
+   (:class:`~concurrent.futures.process.BrokenProcessPool` — SIGKILL, OOM,
+   initializer failure, corrupt payload at rehydration) or blew through the
+   per-chunk timeout costs the whole pool: the supervisor kills any stuck
+   processes, sleeps a bounded exponential backoff, respawns the pool and
+   resubmits.  Chunks that merely shared the doomed pool are requeued
+   without being charged a retry.
+3. **In-process fallback.**  A chunk that exhausts ``max_chunk_retries`` —
+   or a pool that cannot survive ``max_chunk_retries + 1`` consecutive
+   respawns — is executed in the parent via
+   :meth:`~repro.core.batch.BatchExecutor.run_planned`, which cannot be
+   killed by pool failures.  This rung is what makes the ladder total:
+   ``run_batch`` always returns complete, bit-identical results, no matter
+   what the pool does.  (``in_process_fallback=False`` turns the last rung
+   off for callers that would rather fail loudly, raising
+   :class:`~repro.exceptions.WorkerCrashError`,
+   :class:`~repro.exceptions.ChunkTimeoutError` or
+   :class:`~repro.exceptions.ParallelExecutionError`.)
+
+Every call produces an :class:`ExecutionReport` (``executor.last_report``,
+also surfaced as ``ITSPQEngine.last_execution_report``) counting dispatches,
+retries, timeouts, crashes, respawns, fallbacks and backoff time, so a
+serving layer can observe degradation instead of guessing; a healthy run
+reports ``clean`` with zero retries and zero fallbacks.
+
+Fault injection for tests is threaded through the worker initializer: pass
+a :class:`repro.testing.faults.FaultPlan` as ``fault_plan`` and workers
+sabotage themselves on the planned (chunk, attempt) and pool-generation
+coordinates — deterministically, so chaos runs replay exactly.  Production
+pools (``fault_plan=None``) never import :mod:`repro.testing`.
 
 On a single-core host the pool only adds IPC overhead; sizing the pool is
 the caller's job (``benchmarks/bench_parallel_scaling.py`` measures the
-scaling curve and records the host's CPU count alongside it).
+scaling curve and records the host's usable CPU count alongside it).
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
-from typing import List, Optional, Sequence, Tuple
+import time
+import weakref
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.constants import WALKING_SPEED_MPS
 from repro.core.batch import BatchExecutor, BatchGroup, BatchPlanner
 from repro.core.compiled import CompiledITGraph
 from repro.core.query import ITSPQuery, QueryResult
 from repro.core.snapshot import CompiledSnapshotStore
+from repro.exceptions import (
+    ChunkTimeoutError,
+    ParallelExecutionError,
+    WorkerCrashError,
+)
 
 #: The per-process executor over the rehydrated index (set by the pool
 #: initializer; one per worker process, never shared).
 _WORKER_EXECUTOR: Optional[BatchExecutor] = None
+#: The fault plan threaded through the initializer (tests only; ``None`` in
+#: every production pool).
+_WORKER_FAULT_PLAN = None
+
+#: Executors with a live pool; the atexit guard closes them so interpreter
+#: shutdown never depends on best-effort ``__del__`` ordering.
+_LIVE_EXECUTORS: "weakref.WeakSet[ParallelBatchExecutor]" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
 
 
-def _init_worker(payload: bytes, walking_speed: float) -> None:
+def _close_live_executors() -> None:
+    """Atexit guard: tear down any pools still alive at interpreter exit."""
+    for executor in list(_LIVE_EXECUTORS):
+        try:
+            executor.close()
+        except Exception:
+            pass
+
+
+def _register_live_executor(executor: "ParallelBatchExecutor") -> None:
+    global _ATEXIT_REGISTERED
+    _LIVE_EXECUTORS.add(executor)
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_close_live_executors)
+        _ATEXIT_REGISTERED = True
+
+
+def _init_worker(payload: bytes, walking_speed: float, fault_plan, generation: int) -> None:
     """Pool initializer: rehydrate the compiled index and build the arena.
 
     Runs once per worker process.  Workers never see IT-Graph objects — the
     codec payload is the only hand-off — so startup is one flat decode
-    regardless of venue complexity and identical under every
-    multiprocessing start method.
+    regardless of venue complexity and identical under every multiprocessing
+    start method.  ``generation`` is the parent's pool-respawn counter;
+    fault plans use it to sabotage only specific pool incarnations.
     """
-    global _WORKER_EXECUTOR
+    global _WORKER_EXECUTOR, _WORKER_FAULT_PLAN
     from repro.io.compiled_codec import compiled_graph_from_bytes
 
+    if fault_plan is not None:
+        from repro.testing.faults import prepare_worker_payload
+
+        payload = prepare_worker_payload(fault_plan, payload, generation)
     _WORKER_EXECUTOR = BatchExecutor(
         compiled_graph_from_bytes(payload), walking_speed=walking_speed
     )
+    _WORKER_FAULT_PLAN = fault_plan
 
 
-def _run_chunk(groups: List[BatchGroup]) -> List[Tuple[int, QueryResult]]:
-    """Execute one stolen chunk of groups on this worker's executor."""
+def _run_chunk(
+    chunk_id: int, attempt: int, groups: List[BatchGroup]
+) -> List[Tuple[int, QueryResult]]:
+    """Execute one dispatched chunk on this worker's executor.
+
+    A pure function of ``groups`` (the arena is generation-stamped, so prior
+    chunks leave no trace): re-running a lost chunk — on any worker, any
+    attempt — reproduces bit-identical results, which is what makes retries
+    and duplicated deliveries harmless.
+    """
+    if _WORKER_FAULT_PLAN is not None:
+        from repro.testing.faults import fire_chunk_fault
+
+        spec = _WORKER_FAULT_PLAN.chunk_fault(chunk_id, attempt)
+        if spec is not None:
+            fire_chunk_fault(spec, chunk_id, attempt)
     return _WORKER_EXECUTOR.run_planned(groups)
 
 
 def default_worker_count() -> int:
-    """The host's usable CPU count (the pool size ``workers=None`` implies)."""
+    """The host's *usable* CPU count (the pool size ``workers=None`` implies).
+
+    Respects CPU affinity masks — container cpusets, ``taskset``, batch
+    schedulers — via ``os.sched_getaffinity`` where available, so a pool
+    sized by default never oversubscribes a limited allocation the way raw
+    ``os.cpu_count()`` would; falls back to ``os.cpu_count()`` elsewhere.
+    """
     try:
         return max(1, len(os.sched_getaffinity(0)))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux hosts
         return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class ExecutionReport:
+    """Observability record of one ``run_batch`` call.
+
+    Counters cover the supervised pool path; an in-process run (``workers=1``
+    or a single-group plan) reports zeros with ``mode="in-process"``.  A
+    healthy parallel run is :attr:`clean`: every chunk completed on its
+    first dispatch, no retries, no respawns, no fallbacks.
+    """
+
+    mode: str  #: ``"pool"``, ``"in-process"``, ``"batched"`` or ``"sequential"``.
+    workers: int  #: configured pool size (1 for in-process modes).
+    usable_cpus: int  #: :func:`default_worker_count` at run time.
+    queries: int  #: workload size.
+    groups: int  #: planned batch groups.
+    chunks_total: int = 0  #: chunks the plan was packed into.
+    chunks_dispatched: int = 0  #: dispatch attempts, retries included.
+    chunks_completed: int = 0  #: chunks that completed on the pool.
+    chunks_retried: int = 0  #: chunk retries charged to a failed attempt.
+    chunks_fallback: int = 0  #: chunks recovered by the in-process rung.
+    worker_crashes: int = 0  #: chunk losses to a dead worker / broken pool.
+    chunk_timeouts: int = 0  #: chunk losses to the per-chunk timeout.
+    chunk_failures: int = 0  #: chunks whose worker raised an exception.
+    pool_respawns: int = 0  #: pools torn down and restarted.
+    backoff_seconds: float = 0.0  #: total backoff slept between respawns.
+    elapsed_seconds: float = 0.0  #: wall time of the whole call.
+    fault_plan: Optional[str] = field(default=None, repr=False)  #: repr of an injected plan.
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing went wrong: no retries, losses, respawns or
+        fallbacks (the acceptance criterion for a healthy pool)."""
+        return (
+            self.chunks_retried == 0
+            and self.chunks_fallback == 0
+            and self.worker_crashes == 0
+            and self.chunk_timeouts == 0
+            and self.chunk_failures == 0
+            and self.pool_respawns == 0
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready dictionary (for bench records and gate summaries)."""
+        record = {
+            "mode": self.mode,
+            "workers": self.workers,
+            "usable_cpus": self.usable_cpus,
+            "queries": self.queries,
+            "groups": self.groups,
+            "chunks_total": self.chunks_total,
+            "chunks_dispatched": self.chunks_dispatched,
+            "chunks_completed": self.chunks_completed,
+            "chunks_retried": self.chunks_retried,
+            "chunks_fallback": self.chunks_fallback,
+            "worker_crashes": self.worker_crashes,
+            "chunk_timeouts": self.chunk_timeouts,
+            "chunk_failures": self.chunk_failures,
+            "pool_respawns": self.pool_respawns,
+            "backoff_seconds": self.backoff_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "clean": self.clean,
+        }
+        if self.fault_plan is not None:
+            record["fault_plan"] = self.fault_plan
+        return record
+
+    def summary(self) -> str:
+        """One line for logs and gate tables."""
+        if self.mode != "pool":
+            return f"{self.mode}: {self.queries} queries in {self.groups} groups"
+        state = "clean" if self.clean else "degraded"
+        return (
+            f"pool({self.workers}): {self.chunks_completed}/{self.chunks_total} chunks "
+            f"on-pool, {self.chunks_retried} retries, {self.chunk_timeouts} timeouts, "
+            f"{self.worker_crashes} crashes, {self.pool_respawns} respawns, "
+            f"{self.chunks_fallback} fallbacks [{state}]"
+        )
+
+
+class _ChunkTask:
+    """Supervision record of one dispatched chunk."""
+
+    __slots__ = ("chunk_id", "groups", "attempt", "deadline", "last_failure")
+
+    def __init__(self, chunk_id: int, groups: List[BatchGroup]):
+        self.chunk_id = chunk_id
+        self.groups = groups
+        self.attempt = 0
+        self.deadline: Optional[float] = None
+        self.last_failure: Optional[str] = None
+
+    def describe(self) -> str:
+        sequences = [group.sequence for group in self.groups]
+        return (
+            f"chunk {self.chunk_id} ({len(self.groups)} groups "
+            f"{min(sequences)}..{max(sequences)}, attempt {self.attempt})"
+        )
 
 
 class ParallelBatchExecutor:
     """Answers ITSPQ workloads by dispatching planned batch groups over a
-    pool of worker processes (see the module docstring for the process
-    model).
+    supervised pool of worker processes (see the module docstring for the
+    process and failure model).
 
     The pool is created lazily on the first parallel ``run_batch`` and
-    reused across calls; :meth:`close` (or use as a context manager) shuts
-    it down.  With ``workers=1`` — or whenever a plan has too few groups to
-    be worth shipping — execution stays in-process on the local executor,
-    so small batches never pay IPC costs.
+    reused across calls; :meth:`close` (idempotent, also registered with
+    ``atexit``) shuts it down.  With ``workers=1`` — or whenever a plan has
+    too few groups to be worth shipping — execution stays in-process on the
+    local executor, so small batches never pay IPC costs.
+
+    Parameters
+    ----------
+    max_chunk_retries:
+        Pool attempts charged to a chunk beyond the first before it drops to
+        the in-process fallback rung (also the bound on *consecutive* pool
+        respawns before the pool is declared dead for the call).
+    chunk_timeout:
+        Per-chunk wall-time budget in seconds, measured from dispatch to a
+        worker (never while queued).  ``None`` disables the timeout rung.
+    backoff_base / backoff_cap:
+        Bounded exponential backoff between pool respawns: the n-th
+        consecutive respawn sleeps ``min(cap, base * 2**(n-1))`` seconds.
+    in_process_fallback:
+        ``True`` (default) completes unrecoverable chunks in the parent;
+        ``False`` raises the matching
+        :class:`~repro.exceptions.ParallelExecutionError` subclass instead.
+    fault_plan:
+        A :class:`repro.testing.faults.FaultPlan` for chaos tests; ``None``
+        (production) never touches :mod:`repro.testing`.
     """
 
     def __init__(
@@ -109,18 +336,41 @@ class ParallelBatchExecutor:
         chunks_per_worker: int = 4,
         start_method: Optional[str] = None,
         payload: Optional[bytes] = None,
+        max_chunk_retries: int = 2,
+        chunk_timeout: Optional[float] = 120.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        in_process_fallback: bool = True,
+        fault_plan=None,
     ):
         if workers < 1:
             raise ValueError(f"worker count must be positive, got {workers}")
         if chunks_per_worker < 1:
             raise ValueError(f"chunks per worker must be positive, got {chunks_per_worker}")
+        if max_chunk_retries < 0:
+            raise ValueError(f"retry budget must be non-negative, got {max_chunk_retries}")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError(f"chunk timeout must be positive or None, got {chunk_timeout}")
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ValueError("backoff parameters must be non-negative")
         self._workers = int(workers)
         self._chunks_per_worker = int(chunks_per_worker)
         self._local = BatchExecutor(compiled_graph, store, walking_speed)
         self._speed = walking_speed
         self._payload = payload
         self._start_method = start_method
-        self._pool = None
+        self._max_retries = int(max_chunk_retries)
+        self._chunk_timeout = chunk_timeout
+        self._backoff_base = float(backoff_base)
+        self._backoff_cap = float(backoff_cap)
+        self._fallback_enabled = bool(in_process_fallback)
+        self._fault_plan = fault_plan
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Pools spawned over this executor's lifetime; doubles as the
+        #: generation passed to worker initializers (0 = first pool).
+        self._pools_spawned = 0
+        #: The report of the most recent :meth:`run_batch` call.
+        self.last_report: Optional[ExecutionReport] = None
 
     # -- introspection ------------------------------------------------------------
 
@@ -151,27 +401,49 @@ class ParallelBatchExecutor:
 
     def run_batch(self, queries: Sequence[ITSPQuery], method_name: str) -> List[QueryResult]:
         """Answer ``queries`` (canonical ``method_name``); results in input
-        order, bit-identical to :meth:`BatchExecutor.run_batch`."""
+        order, bit-identical to :meth:`BatchExecutor.run_batch` no matter
+        what the pool does.  The call's :class:`ExecutionReport` is left on
+        :attr:`last_report`."""
+        started = time.perf_counter()
         groups = self._local.planner.plan(queries, method_name)
         results: List[Optional[QueryResult]] = [None] * len(queries)
         if self._workers <= 1 or len(groups) <= 1:
+            report = ExecutionReport(
+                mode="in-process",
+                workers=self._workers,
+                usable_cpus=default_worker_count(),
+                queries=len(queries),
+                groups=len(groups),
+            )
             for order, result in self._local.run_planned(groups):
                 results[order] = result
-            return results  # type: ignore[return-value]
-        pool = self._ensure_pool()
-        for pairs in pool.imap_unordered(_run_chunk, self._chunk(groups)):
-            for order, result in pairs:
+        else:
+            chunks = self._chunk(groups)
+            report = ExecutionReport(
+                mode="pool",
+                workers=self._workers,
+                usable_cpus=default_worker_count(),
+                queries=len(queries),
+                groups=len(groups),
+                chunks_total=len(chunks),
+                fault_plan=repr(self._fault_plan) if self._fault_plan is not None else None,
+            )
+            for order, result in self._run_supervised(chunks, report):
                 results[order] = result
+        report.elapsed_seconds = time.perf_counter() - started
+        self.last_report = report
         return results  # type: ignore[return-value]
 
     def _chunk(self, groups: Sequence[BatchGroup]) -> List[List[BatchGroup]]:
-        """Pack groups into size-balanced chunks for the stealing queue.
+        """Pack groups into size-balanced chunks for the dispatch queue.
 
         Groups are distributed greedily by descending member count into
         ``workers * chunks_per_worker`` chunks (ties broken by plan order,
         so chunking is deterministic), and the heaviest chunks are emitted
-        first: a worker that finishes a light chunk steals the next one
-        while a heavy chunk is still running elsewhere.
+        first: a worker that finishes a light chunk picks up the next one
+        while a heavy chunk is still running elsewhere.  The emitted
+        position is the chunk's id — the coordinate retry bookkeeping (and
+        fault plans) key on.
         """
         chunk_count = min(len(groups), self._workers * self._chunks_per_worker)
         order = sorted(range(len(groups)), key=lambda index: (-groups[index].size, index))
@@ -185,33 +457,207 @@ class ParallelBatchExecutor:
         emit = sorted(range(chunk_count), key=lambda chunk: (-weights[chunk], chunk))
         return [chunks[chunk] for chunk in emit]
 
-    def _ensure_pool(self):
+    # -- the supervisor -----------------------------------------------------------
+
+    def _run_supervised(
+        self, chunks: List[List[BatchGroup]], report: ExecutionReport
+    ) -> List[Tuple[int, QueryResult]]:
+        """Climb the degradation ladder until every chunk's results exist.
+
+        Dispatches at most one in-flight chunk per worker, watches futures
+        for completion / worker death / timeout, retries lost chunks with
+        bounded exponential backoff on a respawned pool, and finally runs
+        anything unrecovered on the parent's in-process executor.  Returns
+        the merged ``(order, result)`` pairs; duplicated deliveries (a chunk
+        that completed in the same instant its pool was condemned) are
+        harmless because chunk execution is deterministic and the merge is
+        keyed by input order.
+        """
+        pending: Deque[_ChunkTask] = deque(
+            _ChunkTask(chunk_id, chunk) for chunk_id, chunk in enumerate(chunks)
+        )
+        fallback: List[_ChunkTask] = []
+        in_flight: Dict[Future, _ChunkTask] = {}
+        pairs: List[Tuple[int, QueryResult]] = []
+        consecutive_respawns = 0
+        #: The most recent failure kind — what never-dispatched chunks are
+        #: attributed to when the respawn guard drains the queue.
+        last_failure_kind: Optional[str] = None
+
+        def charge_failure(task: _ChunkTask, failure: str) -> None:
+            """Charge one failed attempt; route to retry or the last rung."""
+            nonlocal last_failure_kind
+            task.attempt += 1
+            task.last_failure = failure
+            last_failure_kind = failure
+            if task.attempt > self._max_retries:
+                self._route_to_fallback(task, fallback, report)
+            else:
+                report.chunks_retried += 1
+                pending.append(task)
+
+        while pending or in_flight:
+            broken = False
+            # Fill the pool: one in-flight chunk per worker, so the timeout
+            # clock of a chunk starts only when a worker actually holds it.
+            while pending and len(in_flight) < self._workers and not broken:
+                task = pending.popleft()
+                try:
+                    future = self._ensure_pool().submit(
+                        _run_chunk, task.chunk_id, task.attempt, task.groups
+                    )
+                except BrokenProcessPool:
+                    # The pool died before this chunk even left the parent —
+                    # still evidence of worker death (e.g. an initializer
+                    # failure noticed at submit time rather than via a
+                    # future), so the crash counter reflects it.
+                    pending.appendleft(task)
+                    report.worker_crashes += 1
+                    broken = True
+                    break
+                task.deadline = (
+                    time.monotonic() + self._chunk_timeout
+                    if self._chunk_timeout is not None
+                    else None
+                )
+                in_flight[future] = task
+                report.chunks_dispatched += 1
+
+            if not broken and in_flight:
+                timeout = None
+                if self._chunk_timeout is not None:
+                    next_deadline = min(task.deadline for task in in_flight.values())
+                    timeout = max(0.0, next_deadline - time.monotonic())
+                done, _ = wait(list(in_flight), timeout=timeout, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = in_flight.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        pairs.extend(future.result())
+                        report.chunks_completed += 1
+                        consecutive_respawns = 0
+                    elif isinstance(error, BrokenProcessPool):
+                        report.worker_crashes += 1
+                        broken = True
+                        charge_failure(task, "crash")
+                    else:
+                        report.chunk_failures += 1
+                        charge_failure(task, "failure")
+                if self._chunk_timeout is not None:
+                    now = time.monotonic()
+                    for future, task in list(in_flight.items()):
+                        if task.deadline is not None and task.deadline <= now and not future.done():
+                            del in_flight[future]
+                            report.chunk_timeouts += 1
+                            # The worker still holds the chunk; reclaiming it
+                            # means condemning the pool.
+                            broken = True
+                            charge_failure(task, "timeout")
+
+            if broken:
+                # Salvage completed-but-uncollected chunks, requeue the rest
+                # without charging them (they merely shared the doomed pool).
+                for future, task in list(in_flight.items()):
+                    if future.done() and future.exception() is None:
+                        pairs.extend(future.result())
+                        report.chunks_completed += 1
+                    else:
+                        pending.appendleft(task)
+                in_flight.clear()
+                consecutive_respawns += 1
+                if consecutive_respawns > self._max_retries:
+                    # The pool cannot be kept alive at all (e.g. every
+                    # initializer dies): drain everything to the last rung.
+                    self._close_pool()
+                    while pending:
+                        task = pending.popleft()
+                        task.last_failure = (
+                            task.last_failure or last_failure_kind or "crash"
+                        )
+                        self._route_to_fallback(task, fallback, report)
+                else:
+                    self._respawn_pool(report, consecutive_respawns)
+
+        # The ladder's last rung: whatever the pool could not answer runs on
+        # the parent's executor, whose results are bit-identical by the batch
+        # parity contract.  Chunk order is normalised for determinism.
+        for task in sorted(fallback, key=lambda task: task.chunk_id):
+            pairs.extend(self._local.run_planned(task.groups))
+        return pairs
+
+    def _route_to_fallback(
+        self, task: _ChunkTask, fallback: List[_ChunkTask], report: ExecutionReport
+    ) -> None:
+        """Drop a chunk to the in-process rung — or raise when it is off."""
+        if self._fallback_enabled:
+            report.chunks_fallback += 1
+            fallback.append(task)
+            return
+        self._close_pool()
+        message = (
+            f"{task.describe()} unrecoverable after {task.attempt} failed pool "
+            f"attempt(s) and in-process fallback is disabled"
+        )
+        if task.last_failure == "timeout":
+            raise ChunkTimeoutError(message)
+        if task.last_failure == "crash":
+            raise WorkerCrashError(message)
+        raise ParallelExecutionError(message)
+
+    # -- pool lifecycle -----------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             method = self._start_method
             if method is None:
-                # ``fork`` starts workers in milliseconds and is available on
-                # every platform the benchmarks target; elsewhere fall back
-                # to the platform default (the codec hand-off makes workers
-                # identical either way).
+                # ``fork`` starts workers in milliseconds where available;
+                # elsewhere fall back to the platform default (the codec
+                # hand-off makes workers identical either way).
                 method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
             context = multiprocessing.get_context(method)
-            self._pool = context.Pool(
-                processes=self._workers,
+            generation = self._pools_spawned
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=context,
                 initializer=_init_worker,
-                initargs=(self.payload_bytes(), self._speed),
+                initargs=(self.payload_bytes(), self._speed, self._fault_plan, generation),
             )
+            self._pools_spawned += 1
+            _register_live_executor(self)
         return self._pool
 
-    # -- lifecycle ----------------------------------------------------------------
+    def _respawn_pool(self, report: ExecutionReport, consecutive: int) -> None:
+        """Tear the pool down, back off, and let the next dispatch respawn it."""
+        self._close_pool()
+        delay = min(self._backoff_cap, self._backoff_base * (2 ** (consecutive - 1)))
+        if delay > 0:
+            time.sleep(delay)
+            report.backoff_seconds += delay
+        report.pool_respawns += 1
+
+    def _close_pool(self) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        # Kill worker processes first: a stuck or sleeping worker would make
+        # a graceful shutdown hang, and workers are stateless by design.
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            pass
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent; the executor stays usable —
-        the next parallel call starts a fresh pool)."""
-        pool = self._pool
-        self._pool = None
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+        the next parallel call starts a fresh pool).  Also invoked by the
+        module's ``atexit`` guard, so interpreter shutdown never depends on
+        ``__del__`` ordering."""
+        self._close_pool()
 
     def __enter__(self) -> "ParallelBatchExecutor":
         return self
@@ -219,7 +665,7 @@ class ParallelBatchExecutor:
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.close()
 
-    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+    def __del__(self):  # pragma: no cover - redundant with the atexit guard
         try:
             self.close()
         except Exception:

@@ -48,3 +48,31 @@ class NoPathExistsError(QueryError):
 
 class SerializationError(ReproError, ValueError):
     """A document could not be parsed into library objects."""
+
+
+class CorruptPayloadError(SerializationError):
+    """A binary payload failed an integrity checksum.
+
+    Raised by :mod:`repro.io.compiled_codec` when a section CRC or the
+    whole-payload CRC does not match — bit-flips, partial overwrites and
+    framing corruption, as opposed to mere truncation (which stays a plain
+    :class:`SerializationError`).  Catching :class:`SerializationError`
+    catches both.
+    """
+
+
+class ParallelExecutionError(ReproError):
+    """Parallel batch execution lost a unit of work beyond its retry budget.
+
+    Only raised when the in-process fallback rung of the degradation ladder
+    is disabled (``in_process_fallback=False``); with the ladder enabled the
+    executor recovers every chunk instead of raising.
+    """
+
+
+class WorkerCrashError(ParallelExecutionError):
+    """A worker process died (or its pool broke) while it held a chunk."""
+
+
+class ChunkTimeoutError(ParallelExecutionError):
+    """A dispatched chunk exceeded the per-chunk timeout."""

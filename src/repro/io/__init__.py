@@ -9,12 +9,18 @@ The compiled query index has a binary codec of its own
 (:mod:`repro.io.compiled_codec`): a versioned flat-array payload that
 round-trips the :class:`~repro.core.compiled.CompiledITGraph` (with its
 interval bitsets) *exactly*, so worker processes and venue shards rehydrate
-an index from bytes instead of recompiling the venue.
+an index from bytes instead of recompiling the venue.  Since format
+version 2 the payload carries CRC32 integrity checksums per section and
+over the whole blob, so a damaged payload fails decoding with
+:class:`~repro.exceptions.CorruptPayloadError` instead of producing a
+silently wrong index (:func:`verify_payload` checks without decoding).
 """
 
 from repro.io.compiled_codec import (
     compiled_graph_from_bytes,
     compiled_graph_to_bytes,
+    payload_section_spans,
+    verify_payload,
 )
 from repro.io.serialize import (
     load_compiled_graph,
@@ -40,6 +46,8 @@ __all__ = [
     "load_json",
     "compiled_graph_to_bytes",
     "compiled_graph_from_bytes",
+    "payload_section_spans",
+    "verify_payload",
     "save_compiled_graph",
     "load_compiled_graph",
 ]

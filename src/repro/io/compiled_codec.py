@@ -11,16 +11,28 @@ IT-Graph.
 
 Format
 ------
-A versioned little-endian binary layout: an 8-byte magic/version header
-followed by length-prefixed sections mirroring the compiled graph's flat
-arrays (interned id tables, dense ``DM`` matrices, flattened adjacency, ATI
-boundary arrays, open-door bitsets, door geometry and the point-location
-polygon rows).  All floats are IEEE-754 doubles written verbatim, so every
-distance, boundary instant and polygon vertex round-trips **exactly** — the
+A versioned little-endian binary layout (version 2):
+
+* an 8-byte magic/version header and a 4-byte body length,
+* a section table — one CRC32-checksummed, length-prefixed section per
+  logical block of the compiled graph (interned id tables, partition flags,
+  dense ``DM`` matrices, flattened adjacency, ATI boundary arrays, open-door
+  bitsets, door geometry, leaveable-door lists and the point-location
+  polygon rows — see :data:`SECTION_NAMES`),
+* a trailing CRC32 over everything before it (the whole-payload checksum).
+
+All floats are IEEE-754 doubles written verbatim, so every distance,
+boundary instant and polygon vertex round-trips **exactly** — the
 rehydrated graph answers queries with bit-identical paths, lengths and
 search-statistics counters, which ``tests/test_io_compiled_roundtrip.py``
-enforces.  Unknown magics and future versions fail fast with
-:class:`~repro.exceptions.SerializationError` instead of decoding garbage.
+enforces.  Unknown magics, old/future versions, truncations and trailing
+bytes fail fast with :class:`~repro.exceptions.SerializationError`; a
+payload whose framing is intact but whose bytes were flipped in flight
+fails its checksums with :class:`~repro.exceptions.CorruptPayloadError`
+(naming the damaged section), so a worker process never rehydrates — let
+alone answers queries from — a silently damaged index
+(``tests/test_codec_integrity.py`` flips bytes in every section to prove
+it).
 
 The payload is self-contained: deserialisation needs no venue files and no
 geometry rebuild beyond reconstructing the (pure-float) polygons of the
@@ -34,17 +46,34 @@ import struct
 import sys
 from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
+from zlib import crc32
 
 from repro.core.compiled import CompiledITGraph
 from repro.core.snapshot import IntervalBitsets
-from repro.exceptions import SerializationError
+from repro.exceptions import CorruptPayloadError, SerializationError
 from repro.geometry.point import Point2D
 from repro.geometry.polygon import Polygon, Rectangle
 
 #: Magic prefix of every payload; the trailing pair is the format version.
 _MAGIC = b"RPROCG"
-_VERSION = 1
+#: Version 2 added the CRC-checksummed section table (version-1 payloads,
+#: which carried no integrity information at all, are rejected).
+_VERSION = 2
 _HEADER = struct.Struct("<6sH")
+_U32 = struct.Struct("<I")
+
+#: The checksummed sections of a payload, in serialisation order.
+SECTION_NAMES = (
+    "id-tables",
+    "partition-flags",
+    "distance-matrices",
+    "adjacency",
+    "ati-bounds",
+    "interval-bitsets",
+    "door-geometry",
+    "leaveable-doors",
+    "point-location",
+)
 
 _POLYGON_KIND = 0
 _RECTANGLE_KIND = 1
@@ -59,10 +88,10 @@ def _to_little_endian(values: array) -> bytes:
 
 
 class _Writer:
-    """Accumulates the length-prefixed little-endian sections."""
+    """Accumulates length-prefixed little-endian values (one section's worth)."""
 
     def __init__(self) -> None:
-        self._parts: List[bytes] = [_HEADER.pack(_MAGIC, _VERSION)]
+        self._parts: List[bytes] = []
 
     def u8(self, value: int) -> None:
         self._parts.append(struct.pack("<B", value))
@@ -195,59 +224,70 @@ def _read_polygon(reader: _Reader) -> Polygon:
     raise SerializationError(f"unknown polygon kind {kind} in compiled-graph payload")
 
 
-def compiled_graph_to_bytes(graph: CompiledITGraph) -> bytes:
-    """Serialise a compiled graph (including its interval bitsets) to bytes.
+def _sections_of(graph: CompiledITGraph) -> List[bytes]:
+    """The payload's checksummed sections, in :data:`SECTION_NAMES` order."""
+    sections: List[bytes] = []
 
-    The payload captures everything query execution touches — a graph
-    rebuilt by :func:`compiled_graph_from_bytes` plans and answers the same
-    workloads with bit-identical results.  It does **not** capture the
-    source :class:`~repro.core.itgraph.ITGraph`.
-    """
     writer = _Writer()
-
     writer.u32(len(graph.door_ids))
     for door_id in graph.door_ids:
         writer.text(door_id)
     writer.u32(len(graph.partition_ids))
     for partition_id in graph.partition_ids:
         writer.text(partition_id)
+    sections.append(writer.getvalue())
 
+    writer = _Writer()
     writer.blob(bytes(1 if flag else 0 for flag in graph.partition_private))
     writer.blob(bytes(1 if flag else 0 for flag in graph.partition_outdoor))
+    sections.append(writer.getvalue())
 
     # Dense DM matrices: member door indices in local-rank order + the dense
     # row-major doubles (NaN encodes "no distance defined" and round-trips
     # through IEEE-754 unchanged).
+    writer = _Writer()
     for local, dense in zip(graph.dm_locals, graph.dm_arrays):
         members = [0] * len(local)
         for door_idx, rank in local.items():
             members[rank] = door_idx
         writer.u32_array(members)
         writer.f64_array(dense)
+    sections.append(writer.getvalue())
 
     # Flattened adjacency: per door, per group (partition + edge arrays).
+    writer = _Writer()
     for groups in graph.adjacency:
         writer.u32(len(groups))
         for partition_idx, _is_private, edges in groups:
             writer.u32(partition_idx)
             writer.u32_array([next_idx for next_idx, _ in edges])
             writer.f64_array([leg for _, leg in edges])
+    sections.append(writer.getvalue())
 
+    writer = _Writer()
     for bounds in graph.ati_bounds:
         writer.f64_array(bounds)
+    sections.append(writer.getvalue())
 
+    writer = _Writer()
     bitsets = graph.interval_bitsets
     starts = bitsets.starts
     writer.f64_array(starts)
     writer.blob(b"".join(bitsets.bitset_by_index(i) for i in range(len(starts))))
+    sections.append(writer.getvalue())
 
+    writer = _Writer()
     writer.f64_array(graph.door_x)
     writer.f64_array(graph.door_y)
     writer.i32_array(graph.door_floor)
+    sections.append(writer.getvalue())
 
+    writer = _Writer()
     for door_indices in graph.leaveable_by_partition:
         writer.u32_array(door_indices)
+    sections.append(writer.getvalue())
 
+    writer = _Writer()
     writer.u32(len(graph.locate_specs))
     for pidx, floor, spans, polygon in graph.locate_specs:
         writer.u32(pidx)
@@ -259,8 +299,123 @@ def compiled_graph_to_bytes(graph: CompiledITGraph) -> bytes:
             writer.i32(spans[0])
             writer.i32(spans[1])
         _write_polygon(writer, polygon)
+    sections.append(writer.getvalue())
 
-    return writer.getvalue()
+    return sections
+
+
+def compiled_graph_to_bytes(graph: CompiledITGraph) -> bytes:
+    """Serialise a compiled graph (including its interval bitsets) to bytes.
+
+    The payload captures everything query execution touches — a graph
+    rebuilt by :func:`compiled_graph_from_bytes` plans and answers the same
+    workloads with bit-identical results.  It does **not** capture the
+    source :class:`~repro.core.itgraph.ITGraph`.  Every section carries a
+    CRC32 and the whole payload a trailing CRC32, so in-flight damage is
+    detected at rehydration instead of decoded into a wrong index.
+    """
+    sections = _sections_of(graph)
+    parts: List[bytes] = [_U32.pack(len(sections))]
+    for section in sections:
+        parts.append(_U32.pack(len(section)))
+        parts.append(_U32.pack(crc32(section)))
+        parts.append(section)
+    body = b"".join(parts)
+    framed = _HEADER.pack(_MAGIC, _VERSION) + _U32.pack(len(body)) + body
+    return framed + _U32.pack(crc32(framed))
+
+
+def _checked_sections(data: bytes) -> List[bytes]:
+    """Validate framing and every checksum; return the raw section bytes.
+
+    Framing violations (foreign magic, unsupported version, truncation,
+    trailing bytes, impossible section table) raise
+    :class:`SerializationError`; intact framing with mismatching checksums —
+    damaged content — raises :class:`CorruptPayloadError`.
+    """
+    prefix = _HEADER.size + _U32.size
+    if len(data) < prefix + _U32.size:
+        raise SerializationError("compiled-graph payload shorter than its header")
+    magic, version = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise SerializationError(f"not a compiled-graph payload (magic {magic!r})")
+    if version != _VERSION:
+        raise SerializationError(
+            f"unsupported compiled-graph format version {version} (expected {_VERSION})"
+        )
+    (body_length,) = _U32.unpack_from(data, _HEADER.size)
+    total = prefix + body_length + _U32.size
+    if len(data) < total:
+        raise SerializationError(
+            f"truncated compiled-graph payload: framed length {total}, have {len(data)} bytes"
+        )
+    if len(data) > total:
+        raise SerializationError(
+            f"{len(data) - total} trailing bytes after the compiled-graph payload"
+        )
+    (stored_crc,) = _U32.unpack_from(data, total - _U32.size)
+    if crc32(data[: total - _U32.size]) != stored_crc:
+        raise CorruptPayloadError(
+            "compiled-graph payload failed its whole-payload CRC32 check"
+        )
+
+    offset = prefix
+    end = total - _U32.size
+    (section_count,) = _U32.unpack_from(data, offset)
+    offset += _U32.size
+    if section_count != len(SECTION_NAMES):
+        raise SerializationError(
+            f"compiled-graph payload carries {section_count} sections, "
+            f"expected {len(SECTION_NAMES)}"
+        )
+    sections: List[bytes] = []
+    for name in SECTION_NAMES:
+        if offset + 2 * _U32.size > end:
+            raise SerializationError(f"section table truncated at section {name!r}")
+        (length,) = _U32.unpack_from(data, offset)
+        (section_crc,) = _U32.unpack_from(data, offset + _U32.size)
+        offset += 2 * _U32.size
+        if offset + length > end:
+            raise SerializationError(f"section {name!r} overruns the payload body")
+        section = data[offset : offset + length]
+        offset += length
+        if crc32(section) != section_crc:
+            raise CorruptPayloadError(
+                f"section {name!r} of the compiled-graph payload failed its CRC32 check"
+            )
+        sections.append(section)
+    if offset != end:
+        raise SerializationError(
+            f"{end - offset} unframed bytes after the last compiled-graph section"
+        )
+    return sections
+
+
+def verify_payload(data: bytes) -> None:
+    """Validate a payload's framing and checksums without rebuilding a graph.
+
+    Raises exactly what :func:`compiled_graph_from_bytes` would raise for a
+    damaged payload, in O(payload) time and O(1) extra memory — the cheap
+    pre-flight a shard router can run before shipping a blob to a worker.
+    """
+    _checked_sections(data)
+
+
+def payload_section_spans(data: bytes) -> List[Tuple[str, int, int]]:
+    """``(name, start, end)`` byte spans of each section's data in ``data``.
+
+    Diagnostic companion to :func:`verify_payload` (and the hook the codec
+    integrity tests use to damage each section in isolation).  The spans
+    cover section *content* only — framing words live between them.
+    """
+    sections = _checked_sections(data)
+    spans: List[Tuple[str, int, int]] = []
+    offset = _HEADER.size + 2 * _U32.size  # header, body length, section count
+    for name, section in zip(SECTION_NAMES, sections):
+        offset += 2 * _U32.size  # section length + CRC words
+        spans.append((name, offset, offset + len(section)))
+        offset += len(section)
+    return spans
 
 
 def compiled_graph_from_bytes(data: bytes) -> CompiledITGraph:
@@ -271,18 +426,11 @@ def compiled_graph_from_bytes(data: bytes) -> CompiledITGraph:
     SerializationError
         On a foreign or truncated payload, or a format version this library
         does not understand.
+    CorruptPayloadError
+        When the framing is intact but a section CRC or the whole-payload
+        CRC does not match (bit-flips, partial overwrites).
     """
-    if len(data) < _HEADER.size:
-        raise SerializationError("compiled-graph payload shorter than its header")
-    magic, version = _HEADER.unpack_from(data)
-    if magic != _MAGIC:
-        raise SerializationError(f"not a compiled-graph payload (magic {magic!r})")
-    if version != _VERSION:
-        raise SerializationError(
-            f"unsupported compiled-graph format version {version} (expected {_VERSION})"
-        )
-    reader = _Reader(data)
-    reader._take(_HEADER.size)
+    reader = _Reader(b"".join(_checked_sections(data)))
 
     door_ids = [reader.text() for _ in range(reader.u32())]
     partition_ids = [reader.text() for _ in range(reader.u32())]
@@ -351,7 +499,8 @@ def compiled_graph_from_bytes(data: bytes) -> CompiledITGraph:
         locate_specs.append((pidx, floor, spans, _read_polygon(reader)))
     if not reader.done():
         raise SerializationError(
-            f"{len(data) - reader._offset} trailing bytes after the compiled-graph payload"
+            f"{len(reader._data) - reader._offset} trailing bytes after the "
+            "compiled-graph section data"
         )
 
     return CompiledITGraph._from_state(

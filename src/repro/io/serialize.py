@@ -223,7 +223,18 @@ def save_compiled_graph(graph, path: Union[str, Path]) -> Path:
 
 
 def load_compiled_graph(path: Union[str, Path]):
-    """Load a compiled query index written by :func:`save_compiled_graph`."""
+    """Load a compiled query index written by :func:`save_compiled_graph`.
+
+    Raises :class:`~repro.exceptions.SerializationError` for an unreadable
+    file and :class:`~repro.exceptions.CorruptPayloadError` (a subclass) for
+    a readable payload that fails its integrity checksums — a service can
+    treat both as "this index file is unusable" or distinguish disk problems
+    from data damage.
+    """
     from repro.io.compiled_codec import compiled_graph_from_bytes
 
-    return compiled_graph_from_bytes(Path(path).read_bytes())
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise SerializationError(f"cannot read compiled-graph payload {path}: {exc}") from exc
+    return compiled_graph_from_bytes(data)
