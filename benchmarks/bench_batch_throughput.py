@@ -35,15 +35,14 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import statistics
 import sys
-import time
 from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
+from _bench_env import bench_environment  # noqa: E402
 from repro.bench.experiments import (  # noqa: E402
     ExperimentScale,
     build_environment,
@@ -211,8 +210,7 @@ def main(argv=None) -> int:
         "benchmark": "bench_batch_throughput",
         "workload": "fan-out fig6 query sets (sources x targets per query time)",
         "scale": args.scale,
-        "created_unix": time.time(),
-        "python": platform.python_version(),
+        "environment": bench_environment(),
         "summary": summarise(rows),
         "rows": rows,
     }

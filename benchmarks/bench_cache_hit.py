@@ -1,0 +1,268 @@
+#!/usr/bin/env python
+"""Warm-hit latency of the interval-keyed shortest-path-tree cache.
+
+Measures what the cache is for: a service answering many queries that share
+a source and a checkpoint interval (one cached tree per ``(source,
+interval, method, privacy)`` key) should answer repeats by an O(path-length)
+replay instead of a fresh door-level Dijkstra.  Two venues:
+
+``example``
+    The paper's running example (Figure 1 / Table I) — tiny, so cold
+    searches are already tens of microseconds and the warm win is modest.
+``fig6-mall``
+    The synthetic multi-floor mall of the evaluation at the chosen scale
+    (default ``paper``: the Table II setting), where a cold search settles
+    hundreds of doors and the warm replay wins by an order of magnitude.
+
+The workload is the *clustered* fan-out form of the fig6 query set: per
+query time, every generated source is routed to every generated target, so
+each (source, query time) pair is one cache cluster whose first member
+builds the tree and whose remaining members are warm hits.  Cached answers
+are asserted bit-identical (results **and** every ``SearchStatistics``
+counter) to the uncached compiled engine before any timing is trusted.
+
+Reported per venue and method: the median cold per-query latency (uncached
+compiled engine), the median warm-hit latency (eager cache, fully warmed),
+their ratio, and the cache's own hit/miss/build/eviction accounting from
+``engine.cache_stats``.  A hit-rate sweep re-runs the workload 1/2/4/8
+times through a fresh cache, and an eviction probe re-runs it through a
+deliberately undersized cache so the eviction counter is exercised too.
+
+Writes a JSON perf record (default ``BENCH_cache.json`` at the repository
+root).  The committed record is produced at ``paper`` scale, where the
+fig6-mall warm-path speedup clears the 5x target.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cache_hit.py
+    PYTHONPATH=src python benchmarks/bench_cache_hit.py --scale small -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from _bench_env import bench_environment  # noqa: E402
+from repro.bench.experiments import (  # noqa: E402
+    ExperimentScale,
+    build_environment,
+    default_grid,
+)
+from repro.bench.harness import run_query_set  # noqa: E402
+from repro.bench.reporting import format_table  # noqa: E402
+from repro.core.cache import CacheConfig  # noqa: E402
+from repro.core.engine import ITSPQEngine  # noqa: E402
+from repro.core.query import ITSPQuery, SearchStatistics  # noqa: E402
+from repro.datasets.example_floorplan import (  # noqa: E402
+    build_example_itgraph,
+    example_fanout_endpoints,
+)
+from repro.synthetic.queries import QueryWorkloadConfig, generate_query_instances  # noqa: E402
+
+METHODS = ("ITG/S", "ITG/A")
+_STAT_KEYS = SearchStatistics.COUNTER_FIELDS
+
+
+def clustered_queries(sources, targets, query_times):
+    """Every source x every target at every query time — each (source, time)
+    is one cache cluster of ``len(targets)`` members."""
+    return [
+        ITSPQuery(source, target, query_time)
+        for query_time in query_times
+        for source in sources
+        for target in targets
+        if source is not target
+    ]
+
+
+def example_workload():
+    itgraph = build_example_itgraph()
+    sources, targets = example_fanout_endpoints(itgraph)
+    return itgraph, clustered_queries(sources, targets, ("6:30", "9:00", "12:00"))
+
+
+def fig6_workload(scale: ExperimentScale):
+    """Clustered workload on the fig6 synthetic mall (venue built once)."""
+    grid = default_grid(scale)
+    environment = build_environment(scale, grid=grid)
+    itgraph = environment.itgraph
+    query_times = ("8:00", "12:00", "20:00")
+    queries = []
+    for query_time in query_times:
+        generated = generate_query_instances(
+            itgraph,
+            QueryWorkloadConfig(
+                s2t_distance=grid.default_s2t,
+                pairs=grid.query_pairs,
+                query_time=query_time,
+                seed=grid.workload_seed,
+            ),
+        )
+        sources = [g.query.source for g in generated]
+        targets = [g.query.target for g in generated]
+        queries += clustered_queries(sources, targets, (query_time,))
+    return itgraph, queries
+
+
+def assert_cached_parity(cold_engine, cached_engine, queries, method):
+    """Every cached answer must match the uncached engine bit-for-bit
+    (results and statistics) before any timing is trusted.  This pass also
+    fully warms the cache: every timed sample afterwards is a hit."""
+    for query in queries:
+        fresh = cold_engine.run(query, method=method)
+        first = cached_engine.run(query, method=method)  # builds the tree
+        warm = cached_engine.run(query, method=method)  # guaranteed hit
+        for cached in (first, warm):
+            if (
+                fresh.found != cached.found
+                or fresh.length != cached.length
+                or any(
+                    getattr(fresh.statistics, key) != getattr(cached.statistics, key)
+                    for key in _STAT_KEYS
+                )
+            ):
+                raise AssertionError(
+                    f"cached/fresh disagreement on {query} ({method}): "
+                    f"fresh={fresh.length}, cached={cached.length}"
+                )
+
+
+def run_venue(venue_name, itgraph, queries, repetitions):
+    """Benchmark one venue; returns (rows, accounting) for the record."""
+    cold_engine = ITSPQEngine(itgraph)
+    cold_engine.ensure_compiled()
+    rows = []
+    accounting = {}
+    for method in METHODS:
+        cached_engine = ITSPQEngine(
+            itgraph, cache=CacheConfig(mode="eager", max_entries=4096)
+        )
+        cached_engine.ensure_compiled()
+        assert_cached_parity(cold_engine, cached_engine, queries, method)
+        cold = run_query_set(cold_engine, queries, method, repetitions=repetitions)
+        warm = run_query_set(cached_engine, queries, method, repetitions=repetitions)
+        stats = cached_engine.cache_stats
+        rows.append(
+            {
+                "venue": venue_name,
+                "method": method,
+                "queries": len(queries),
+                "clusters": stats["entries"],
+                "repetitions": repetitions,
+                "cold_p50_us": round(cold.p50_time_us, 1),
+                "warm_p50_us": round(warm.p50_time_us, 1),
+                "speedup": round(cold.p50_time_us / warm.p50_time_us, 2),
+                "hit_rate": round(stats["hits"] / (stats["hits"] + stats["misses"]), 4),
+            }
+        )
+        accounting[method] = stats
+    return rows, accounting
+
+
+def hit_rate_sweep(itgraph, queries, method="ITG/S"):
+    """Hit rate as the workload repeats through a fresh cache: the first
+    pass pays one build per cluster, every further pass is all hits."""
+    sweep = []
+    for passes in (1, 2, 4, 8):
+        engine = ITSPQEngine(itgraph, cache=CacheConfig(mode="eager", max_entries=4096))
+        for _ in range(passes):
+            for query in queries:
+                engine.run(query, method=method)
+        stats = engine.cache_stats
+        sweep.append(
+            {
+                "passes": passes,
+                "lookups": stats["hits"] + stats["misses"],
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+                "hit_rate": round(stats["hits"] / (stats["hits"] + stats["misses"]), 4),
+            }
+        )
+    return sweep
+
+
+def eviction_probe(itgraph, queries, method="ITG/S"):
+    """Run the workload through a deliberately undersized cache (fewer
+    entries than clusters) so LRU eviction and re-build are exercised."""
+    engine = ITSPQEngine(itgraph, cache=CacheConfig(mode="eager", max_entries=4))
+    for _ in range(2):
+        for query in queries:
+            engine.run(query, method=method)
+    return engine.cache_stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_BENCH_SCALE", "paper"),
+        choices=[scale.value for scale in ExperimentScale],
+        help="fig6 venue/workload scale (default: paper, the Table II setting)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=5, help="timed repetitions per query"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_cache.json",
+        help="where to write the JSON perf record",
+    )
+    args = parser.parse_args(argv)
+
+    rows = []
+    accounting = {}
+    example_itgraph, example_queries = example_workload()
+    venue_rows, venue_accounting = run_venue(
+        "example", example_itgraph, example_queries, args.repetitions
+    )
+    rows += venue_rows
+    accounting["example"] = venue_accounting
+    mall_itgraph, mall_queries = fig6_workload(ExperimentScale(args.scale))
+    venue_rows, venue_accounting = run_venue(
+        "fig6-mall", mall_itgraph, mall_queries, args.repetitions
+    )
+    rows += venue_rows
+    accounting["fig6-mall"] = venue_accounting
+
+    mall_speedups = [row["speedup"] for row in rows if row["venue"] == "fig6-mall"]
+    record = {
+        "benchmark": "bench_cache_hit",
+        "workload": "clustered fig6 fan-out (one cache cluster per source x query time)",
+        "scale": args.scale,
+        "environment": bench_environment(),
+        "summary": {
+            "fig6_mall_median_warm_speedup": round(statistics.median(mall_speedups), 2),
+            "fig6_mall_min_warm_speedup": round(min(mall_speedups), 2),
+            "target_warm_speedup": 5.0,
+        },
+        "rows": rows,
+        "cache_accounting": accounting,
+        "hit_rate_sweep": hit_rate_sweep(mall_itgraph, mall_queries),
+        "eviction_probe": eviction_probe(mall_itgraph, mall_queries),
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(format_table(rows))
+    print()
+    summary = record["summary"]
+    print(
+        f"fig6-mall warm-path speedup: median {summary['fig6_mall_median_warm_speedup']:.2f}x, "
+        f"min {summary['fig6_mall_min_warm_speedup']:.2f}x "
+        f"(target >= {summary['target_warm_speedup']:.0f}x)"
+    )
+    print(f"\nperf record written to {args.output}")
+    return int(summary["fig6_mall_min_warm_speedup"] < summary["target_warm_speedup"])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

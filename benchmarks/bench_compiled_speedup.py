@@ -27,7 +27,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import statistics
 import sys
 import time
@@ -36,6 +35,7 @@ from pathlib import Path
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
+from _bench_env import bench_environment  # noqa: E402
 from repro.bench.experiments import (  # noqa: E402
     ExperimentScale,
     build_environment,
@@ -120,8 +120,7 @@ def run_benchmark(scale: ExperimentScale) -> dict:
         "benchmark": "bench_compiled_speedup",
         "workload": "fig6 (search time vs query time of day)",
         "scale": scale.value,
-        "created_unix": time.time(),
-        "python": platform.python_version(),
+        "environment": bench_environment(),
         "compile_build_ms": round(compile_build_ms or 0.0, 2),
         "summary": summary,
         "rows": rows,

@@ -20,8 +20,9 @@ service shape) is executed:
     before any timing is trusted.
 
 Parallel speedup is bounded by the machine: on a single-core host the pool
-only adds IPC overhead, so the JSON record always carries ``cpu_count`` and
-``usable_cpus`` next to the numbers.  CI regenerates this benchmark on
+only adds IPC overhead, so the JSON record always carries ``cpu_count``
+(in its shared ``environment`` provenance block) and ``usable_cpus`` next
+to the numbers.  CI regenerates this benchmark on
 multi-core runners and uploads it as a workflow artifact.
 
 Writes a JSON perf record (default ``BENCH_parallel.json`` at the repository
@@ -41,12 +42,12 @@ import json
 import os
 import platform
 import sys
-import time
 from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
+from _bench_env import bench_environment  # noqa: E402
 from repro.bench.experiments import (  # noqa: E402
     ExperimentScale,
     build_environment,
@@ -239,10 +240,8 @@ def main(argv=None) -> int:
         "benchmark": "bench_parallel_scaling",
         "workload": "combined fig6 fan-out query set (all query times, sources x targets)",
         "scale": args.scale,
-        "created_unix": time.time(),
-        "python": platform.python_version(),
+        "environment": bench_environment(),
         "platform": platform.platform(),
-        "cpu_count": os.cpu_count(),
         "usable_cpus": default_worker_count(),
         "worker_counts": worker_counts,
         "payload_bytes": payload_bytes,

@@ -14,7 +14,18 @@ Intended for CI/pre-merge use, on the paper's running-example floorplan
    :func:`repro.bench.harness.run_batch_query_set` and fail when batch
    execution is below ``--min-batch-speedup`` (default 1.5x) or disagrees
    with the sequential engine on any answer.
-3. **Parallel gates** (``--workers N``, N > 1) — run the same fan-out
+3. **Cache gates** — answer the workload through an engine with the
+   interval-keyed shortest-path-tree cache enabled (eager admission) and
+   fail when any cached answer — found flag, length or **any**
+   ``SearchStatistics`` counter — differs from the fresh compiled answer
+   (all four TV-check methods), or when the median warm-hit latency is not
+   at least ``--min-cache-speedup`` (default 1.25x) below the cold compiled
+   median for ITG/S and ITG/A.  The floor is deliberately modest: on the
+   tiny example venue a cold search is already tens of microseconds, so the
+   gate only proves warm hits beat cold searches at all — the headline
+   warm-path speedup is measured on the clustered mall workload by
+   ``benchmarks/bench_cache_hit.py`` (``BENCH_cache.json``).
+4. **Parallel gates** (``--workers N``, N > 1) — run the same fan-out
    workload through the :class:`~repro.core.parallel.ParallelBatchExecutor`
    and fail on any disagreement with the sequential engine (results must be
    bit-identical including statistics).  Throughput is gated only when
@@ -51,6 +62,7 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.bench.harness import run_batch_query_set, run_query_set  # noqa: E402
 from repro.bench.reporting import format_table  # noqa: E402
+from repro.core.cache import CacheConfig  # noqa: E402
 from repro.core.engine import ITSPQEngine  # noqa: E402
 from repro.core.query import ITSPQuery, SearchStatistics  # noqa: E402
 from repro.datasets.example_floorplan import (  # noqa: E402
@@ -60,6 +72,8 @@ from repro.datasets.example_floorplan import (  # noqa: E402
 )
 
 METHODS = ("ITG/S", "ITG/A")
+#: The cache-correctness gate covers every TV-check method the cache serves.
+CACHE_METHODS = ("ITG/S", "ITG/A", "static", "query-time")
 QUERY_TIMES = ("6:30", "9:00", "12:00", "15:55", "21:00")
 
 #: Statistics fields the parallel gate compares (everything but runtime).
@@ -202,6 +216,66 @@ def check_batch(report: GateReport, compiled_engine, batch_queries, repetitions,
         )
 
 
+def check_cache(report: GateReport, itgraph, queries, repetitions, min_speedup) -> None:
+    import time as _time
+    from statistics import median
+
+    fresh_engine = ITSPQEngine(itgraph)
+    cached_engine = ITSPQEngine(itgraph, cache=CacheConfig(mode="eager", max_entries=1024))
+    for method in CACHE_METHODS:
+        disagreements = 0
+        for query in queries:
+            fresh = fresh_engine.run(query, method=method)
+            first = cached_engine.run(query, method=method)  # records the tree
+            warm = cached_engine.run(query, method=method)  # guaranteed warm hit
+            for cached in (first, warm):
+                if (
+                    fresh.found != cached.found
+                    or fresh.length != cached.length
+                    or any(
+                        getattr(fresh.statistics, key) != getattr(cached.statistics, key)
+                        for key in _STAT_KEYS
+                    )
+                ):
+                    disagreements += 1
+        report.record(
+            f"{method} cached/fresh agreement",
+            disagreements == 0,
+            f"{disagreements} disagreements on {2 * len(queries)} cached answers",
+            "0 disagreements (incl. statistics)",
+        )
+
+    for method in METHODS:
+        # Everything is cached by now: time warm hits against cold searches,
+        # interleaved per repetition so CPU-state drift hits both equally.
+        cold_times, warm_times = [], []
+        for _ in range(repetitions):
+            for query in queries:
+                started = _time.perf_counter()
+                fresh_engine.run(query, method=method)
+                cold_times.append(_time.perf_counter() - started)
+                started = _time.perf_counter()
+                cached_engine.run(query, method=method)
+                warm_times.append(_time.perf_counter() - started)
+        speedup = median(cold_times) / median(warm_times)
+        report.record(
+            f"{method} warm-hit speedup",
+            speedup >= min_speedup,
+            f"{speedup:.2f}x (median {median(warm_times) * 1e6:.1f} us "
+            f"vs cold {median(cold_times) * 1e6:.1f} us)",
+            f">= {min_speedup:.2f}x",
+        )
+
+    stats = cached_engine.cache_stats
+    report.record(
+        "cache hit accounting",
+        stats is not None and stats["hits"] > 0 and stats["trees_built"] > 0,
+        f"{stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['trees_built']} trees, {stats['evictions']} evictions",
+        "> 0 hits and > 0 trees built",
+    )
+
+
 def check_parallel(
     report: GateReport, compiled_engine, batch_queries, repetitions, workers, min_speedup
 ) -> None:
@@ -271,6 +345,14 @@ def main(argv=None) -> int:
         help="required batch-vs-sequential throughput ratio (default 1.5)",
     )
     parser.add_argument(
+        "--min-cache-speedup",
+        type=float,
+        default=1.25,
+        help="required warm-hit-vs-cold median latency ratio (default 1.25; "
+        "the example venue's cold searches are already microseconds, so this "
+        "is a regression floor — BENCH_cache.json carries the headline)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=0,
@@ -312,6 +394,15 @@ def main(argv=None) -> int:
             batch_queries,
             args.repetitions,
             args.min_batch_speedup,
+        )
+        run_gate(
+            report,
+            "cache",
+            check_cache,
+            itgraph,
+            build_workload(),
+            args.repetitions,
+            args.min_cache_speedup,
         )
         if args.workers > 1:
             run_gate(

@@ -58,6 +58,7 @@ from math import hypot
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.constants import WALKING_SPEED_MPS
+from repro.core.cache import CacheConfig, SPTreeCache, TimeKeyResolver
 from repro.core.compiled import COMPILED_KINDS, CompiledITGraph
 from repro.core.path import IndoorPath, PathHop
 from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
@@ -184,10 +185,19 @@ class BatchGroup:
         "allowed_private",
         "members",
         "sequence",
+        "cache_key",
     )
 
     def __init__(
-        self, kind, method_label, source, source_pidx, rep_seconds, allowed_private, sequence=-1
+        self,
+        kind,
+        method_label,
+        source,
+        source_pidx,
+        rep_seconds,
+        allowed_private,
+        sequence=-1,
+        cache_key=None,
     ):
         self.kind = kind
         self.method_label = method_label
@@ -202,6 +212,10 @@ class BatchGroup:
         #: identity the supervised parallel executor uses to name a group in
         #: retry bookkeeping and failure diagnostics.
         self.sequence = sequence
+        #: The planner's group key — also the address of this group's
+        #: shortest-path tree in an :class:`~repro.core.cache.SPTreeCache`
+        #: (plain floats/ints, so it pickles with the group).
+        self.cache_key = cache_key
 
     @property
     def size(self) -> int:
@@ -210,25 +224,29 @@ class BatchGroup:
 
 
 class BatchPlanner:
-    """Groups a workload into shared-trajectory :class:`BatchGroup` units."""
+    """Groups a workload into shared-trajectory :class:`BatchGroup` units.
 
-    def __init__(self, compiled_graph: CompiledITGraph):
+    Effective-time bucketing is delegated to a
+    :class:`~repro.core.cache.TimeKeyResolver` — ``query-time`` queries
+    group by the checkpoint-interval index
+    (:meth:`~repro.core.snapshot.IntervalBitsets.index_at`) whenever that is
+    provably lossless, falling back to the merged-ATI-boundary bisection
+    otherwise — so groups and shortest-path-tree cache entries share one
+    address space: every group key is also a cache key.
+    """
+
+    def __init__(
+        self,
+        compiled_graph: CompiledITGraph,
+        time_keys: Optional[TimeKeyResolver] = None,
+    ):
         self._graph = compiled_graph
-        self._global_bounds: Optional[Tuple[float, ...]] = None
+        self._time_keys = time_keys if time_keys is not None else TimeKeyResolver(compiled_graph)
 
-    def _global_ati_boundaries(self) -> Tuple[float, ...]:
-        """Merged sorted boundary instants of every door ATI (built once).
-
-        Between two consecutive global boundaries no door changes state, so
-        two ``query-time`` probes issued inside the same gap return the same
-        answer for every door.
-        """
-        if self._global_bounds is None:
-            merged = set()
-            for bounds in self._graph.ati_bounds:
-                merged.update(bounds)
-            self._global_bounds = tuple(sorted(merged))
-        return self._global_bounds
+    @property
+    def time_keys(self) -> TimeKeyResolver:
+        """The effective-time resolver groups and cache entries share."""
+        return self._time_keys
 
     def plan(self, queries: Sequence[ITSPQuery], method_name: str) -> List[BatchGroup]:
         """Partition ``queries`` (one canonical method) into batch groups.
@@ -265,12 +283,7 @@ class BatchPlanner:
             except UnknownEntityError as exc:
                 raise QueryError(f"query endpoint outside the indoor space: {exc}") from exc
             query_seconds = query.query_time.seconds
-            if kind == 2:
-                time_key = 0.0  # the static check never looks at the clock
-            elif kind == 3:
-                time_key = float(bisect_right(self._global_ati_boundaries(), query_seconds))
-            else:
-                time_key = query_seconds
+            time_key = self._time_keys.key(kind, query_seconds)
             # Queries whose target partition is private widen the search's
             # allowed-private set, changing the shared trajectory; they may
             # only share a run with queries widening it identically.
@@ -287,7 +300,14 @@ class BatchPlanner:
                     else frozenset((source_pidx, target_pidx))
                 )
                 group = BatchGroup(
-                    kind, method_label, source, source_pidx, query_seconds, allowed, len(groups)
+                    kind,
+                    method_label,
+                    source,
+                    source_pidx,
+                    query_seconds,
+                    allowed,
+                    len(groups),
+                    cache_key=key,
                 )
                 groups[key] = group
             group.members.append((index, query, target_pidx))
@@ -312,13 +332,27 @@ class BatchExecutor:
         compiled_graph: CompiledITGraph,
         store: Optional[CompiledSnapshotStore] = None,
         walking_speed: float = WALKING_SPEED_MPS,
+        cache=None,
     ):
         if walking_speed <= 0:
             raise ValueError(f"walking speed must be positive, got {walking_speed}")
         self._graph = compiled_graph
         self._store = store if store is not None else compiled_graph.interval_bitsets.store()
         self._speed = walking_speed
-        self._planner = BatchPlanner(compiled_graph)
+        # ``cache`` accepts an engine-owned SPTreeCache (shared entries), a
+        # CacheConfig (the executor builds its own — the parallel workers'
+        # path), or None (no caching; identical to the pre-cache executor).
+        if cache is None:
+            self._cache: Optional[SPTreeCache] = None
+        elif isinstance(cache, SPTreeCache):
+            self._cache = cache
+        elif isinstance(cache, CacheConfig):
+            self._cache = SPTreeCache(compiled_graph, self._store, walking_speed, cache)
+        else:
+            raise TypeError(f"cache must be an SPTreeCache, CacheConfig or None, got {cache!r}")
+        self._planner = BatchPlanner(
+            compiled_graph, self._cache.resolver if self._cache is not None else None
+        )
         self._arena = SearchArena(compiled_graph.door_count + 2)
         #: Group count of the most recent run (planned here or handed in via
         #: :meth:`run_planned`) — observability for execution reports.
@@ -333,6 +367,12 @@ class BatchExecutor:
     def planner(self) -> BatchPlanner:
         """The workload planner (exposed for plan introspection in tests)."""
         return self._planner
+
+    @property
+    def cache(self) -> Optional[SPTreeCache]:
+        """The shortest-path-tree cache consulted before each group's search
+        (``None`` when caching is off)."""
+        return self._cache
 
     def run_batch(self, queries: Sequence[ITSPQuery], method_name: str) -> List[QueryResult]:
         """Answer ``queries`` (canonical ``method_name``) and return results
@@ -354,9 +394,24 @@ class BatchExecutor:
         :meth:`run_batch`.
         """
         self.last_group_count = len(groups)
+        cache = self._cache
         pairs: List[Tuple[int, QueryResult]] = []
         for group in groups:
             started = time.perf_counter()
+            if cache is not None and group.cache_key is not None:
+                tree = cache.lookup(group.cache_key)
+                if tree is None and cache.should_build(group.cache_key):
+                    tree = cache.build_for_group(group)
+                if tree is not None:
+                    answers = [
+                        (order, cache.answer(tree, query, target_pidx))
+                        for order, query, target_pidx in group.members
+                    ]
+                    elapsed = (time.perf_counter() - started) / len(answers)
+                    for order, result in answers:
+                        result.statistics.runtime_seconds = elapsed
+                        pairs.append((order, result))
+                    continue
             targets = self._run_group(group)
             elapsed = (time.perf_counter() - started) / len(targets)
             for target in targets:

@@ -1,0 +1,986 @@
+"""Interval-keyed shortest-path-tree cache for the compiled ITSPQ core.
+
+Within one checkpoint interval the open-door bitset — and therefore the
+whole door-level search graph — is frozen, so ITSPQ is really answered
+against a small family of static graphs indexed by
+:meth:`~repro.core.snapshot.IntervalBitsets.index_at`.  Service workloads
+cluster heavily inside that family: query times land in a few intervals and
+sources (entrances, concierge desks) repeat.  Yet every execution tier built
+so far — compiled, batch, parallel — re-runs Dijkstra from scratch for each
+``(source, interval, method)`` even when it just computed that exact tree.
+
+:class:`SPTreeCache` closes that gap.  It memoises **recorded shortest-path
+trees**: one zero-target, full-exhaustion run of the compiled Dijkstra per
+``(method kind, source point, effective-time key, privacy context)`` — the
+same key the :class:`~repro.core.batch.BatchPlanner` groups by — storing the
+final label arrays *plus* a compact event log of the run (pop order, push
+counter, cumulative statistics, heap-occupancy trajectory and the per-door
+"target relax opportunity" rows).  A repeat query is then answered without
+any search: an O(rows-until-settle) scan picks the winning door, a binary
+search over the event log finds the exact moment the member's target would
+have settled, and the member's :class:`~repro.core.query.SearchStatistics`
+are reconstructed **bit-identically** to what a fresh
+``ITSPQEngine._search_compiled`` run would report (the repository's standing
+parity invariant; ``tests/test_cache_parity.py`` enforces it counter for
+counter).
+
+Why exact reconstruction is possible (the same argument the batch executor
+rests on, taken one step further): target entries never relax doors, so a
+member query's door-level event sequence is a prefix of the zero-target
+run's event sequence.  Heap pops occur in globally sorted ``(distance,
+tie)`` order — every push's priority is ≥ the priority being popped, and
+ties increase monotonically — so the prefix length is a binary search over
+the recorded ``(pop distance, push index)`` pairs, stale pops included.
+Target-entry bookkeeping (pushes, the settling pop, peak-heap contribution)
+is replayed from the opportunity rows: candidate distances strictly improve
+at each target push, so the rows that would have pushed are exactly the
+strictly-improving ones, and the peak decomposes into a prefix maximum
+before the first target push plus per-segment range maxima (block-max
+lookups) afterwards.
+
+Admission and invalidation:
+
+* keys follow the batch planner exactly, so the engine's single-query path,
+  the in-process batch path and every parallel worker address the same tree
+  space;
+* ``mode="promote"`` (default) records a tree only after a key misses
+  ``promote_after`` times — one-off queries never pay the full-exhaustion
+  recording run; ``mode="eager"`` records on first miss (bench/warm-up);
+* entries are LRU-evicted beyond ``max_entries`` and stamped with a
+  **generation**: :meth:`SPTreeCache.invalidate` bumps it, instantly
+  orphaning every cached tree (the hook a future graph-update path uses on
+  recompilation).
+
+The optional per-interval precompute
+(:class:`~repro.core.compiled.IntervalOverlays`, serialised in the codec's
+``precompute`` section) plugs in twice: :meth:`SPTreeCache.prune_result`
+answers provably-unreachable queries without any search (opt-in via
+``prune_unreachable`` — the pruned result's counters are approximate, which
+is why the default stays off), and warmed caches skip recording runs whose
+trees are already known.
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from bisect import bisect_right
+from collections import OrderedDict
+from heapq import heappop, heappush
+from math import hypot, inf
+from typing import Dict, List, Optional, Tuple
+
+from repro.constants import WALKING_SPEED_MPS
+from repro.core.compiled import CompiledITGraph
+from repro.core.path import IndoorPath, PathHop
+from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
+from repro.core.snapshot import CompiledSnapshotStore
+from repro.temporal.timeofday import TimeOfDay
+
+_INFINITY = inf
+#: Block width of the occupancy range-max index (power of two for shifts).
+_BLOCK = 64
+_BLOCK_SHIFT = 6
+
+_MODES = ("off", "promote", "eager")
+
+
+class CacheConfig:
+    """Configuration of one :class:`SPTreeCache` (picklable, so it travels
+    through the parallel executor's worker initializer).
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity in cached trees.
+    mode:
+        ``"promote"`` (default) records a tree after ``promote_after``
+        misses of the same key; ``"eager"`` records on first miss;
+        ``"off"`` disables recording (lookups still count misses).
+    promote_after:
+        Miss count that promotes a key to a recorded tree in promote mode.
+    prune_unreachable:
+        Opt-in: answer provably-unreachable queries from the
+        :class:`~repro.core.compiled.IntervalOverlays` component rows
+        without searching.  Found/length stay exact; the statistics of a
+        pruned not-found answer are approximate (all-zero counters), which
+        is why this defaults to ``False`` — the bit-identity invariant
+        holds for every default path.
+    precompute:
+        Build the per-interval overlays at compile time
+        (``CompiledITGraph.build_overlays``) when the engine compiles its
+        index; they then ride along in the codec payload.
+    """
+
+    __slots__ = ("max_entries", "mode", "promote_after", "prune_unreachable", "precompute")
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        mode: str = "promote",
+        promote_after: int = 2,
+        prune_unreachable: bool = False,
+        precompute: bool = False,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"cache capacity must be positive, got {max_entries}")
+        if mode not in _MODES:
+            raise ValueError(f"unknown cache mode {mode!r} (expected one of {_MODES})")
+        if promote_after < 1:
+            raise ValueError(f"promotion threshold must be positive, got {promote_after}")
+        self.max_entries = int(max_entries)
+        self.mode = mode
+        self.promote_after = int(promote_after)
+        self.prune_unreachable = bool(prune_unreachable)
+        self.precompute = bool(precompute)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheConfig(max_entries={self.max_entries}, mode={self.mode!r}, "
+            f"promote_after={self.promote_after}, prune_unreachable={self.prune_unreachable}, "
+            f"precompute={self.precompute})"
+        )
+
+
+class TimeKeyResolver:
+    """Canonical effective-time key shared by the batch planner and the cache.
+
+    Two queries with the same key provably share their entire door-level
+    trajectory (method and source/privacy context being equal):
+
+    * ``static`` (kind 2) never reads the clock — one bucket;
+    * ``query-time`` (kind 3) probes every door at the query instant, so the
+      checkpoint-interval index is the natural bucket — **when** every door
+      ATI boundary is itself an interval start (true whenever the bitsets
+      were built from the schedule's own checkpoints).  When a thinned
+      checkpoint set leaves door boundaries strictly inside an interval,
+      bucketing by interval would merge queries with different probe
+      outcomes, so the resolver falls back to the merged-boundary bisection
+      the planner always used;
+    * the arrival-time methods (kinds 0 and 1) probe doors at per-door
+      arrival instants that move continuously with the query second, so any
+      time coarsening is unsound — they keep the exact second.
+    """
+
+    __slots__ = ("_graph", "_bitsets", "_index_sound", "_fallback")
+
+    def __init__(self, graph: CompiledITGraph):
+        self._graph = graph
+        self._bitsets = graph.interval_bitsets
+        self._index_sound: Optional[bool] = None
+        self._fallback: Optional[Tuple[float, ...]] = None
+
+    def interval_indexing_sound(self) -> bool:
+        """Whether grouping kind-3 queries by interval index is lossless."""
+        if self._index_sound is None:
+            starts = set(self._bitsets.starts)
+            self._index_sound = all(
+                boundary in starts
+                for bounds in self._graph.ati_bounds
+                for boundary in bounds
+            )
+        return self._index_sound
+
+    def _fallback_bounds(self) -> Tuple[float, ...]:
+        if self._fallback is None:
+            merged = set()
+            for bounds in self._graph.ati_bounds:
+                merged.update(bounds)
+            self._fallback = tuple(sorted(merged))
+        return self._fallback
+
+    def key(self, kind: int, query_seconds: float) -> float:
+        """The effective-time component of a group/cache key."""
+        if kind == 2:
+            return 0.0
+        if kind == 3:
+            if self.interval_indexing_sound():
+                return float(self._bitsets.index_at(query_seconds))
+            return float(bisect_right(self._fallback_bounds(), query_seconds))
+        return query_seconds
+
+    def interval_index(self, query_seconds: float) -> int:
+        """The checkpoint-interval index containing ``query_seconds``."""
+        return self._bitsets.index_at(query_seconds)
+
+
+class CachedTree:
+    """One recorded zero-target run: labels + the event log that makes exact
+    per-member statistics reconstruction possible (see the module docstring).
+
+    Arrays are indexed two ways: *per node* (``dist`` / ``prev_node`` /
+    ``prev_part``, door indices plus the source sentinel at ``door_count``)
+    and *per event* (one heap pop of a source/door entry, stale pops
+    included — ``pop_dist`` / ``pop_push`` and the nine cumulative counter
+    arrays, sampled after each event completes).  ``occ_after``/
+    ``prefix_peak``/``block_max`` are indexed per push (the heap-occupancy
+    trajectory); ``rows_by_partition`` holds the chronological target-relax
+    opportunities ``(door, door_distance, pushes_before, occupancy)`` per
+    partition.
+    """
+
+    __slots__ = (
+        "kind",
+        "method_label",
+        "source_pidx",
+        "source_x",
+        "source_y",
+        "source_floor",
+        "rep_seconds",
+        "generation",
+        "dist",
+        "prev_node",
+        "prev_part",
+        "pop_dist",
+        "pop_push",
+        "cum_settled",
+        "cum_relax",
+        "cum_pushes",
+        "cum_parts",
+        "cum_private",
+        "cum_tpruned",
+        "cum_ati",
+        "cum_refresh",
+        "cum_member",
+        "occ_after",
+        "prefix_peak",
+        "block_max",
+        "rows_by_partition",
+        "total_pushes",
+        "total_events",
+    )
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint of the recorded arrays (for reports)."""
+        per_event = 8 + 8 + 9 * 8
+        per_push = 3 * 8
+        row_bytes = sum(len(rows) * 48 for rows in self.rows_by_partition.values())
+        node_bytes = 3 * 8 * len(self.dist)
+        return self.total_events * per_event + self.total_pushes * per_push + row_bytes + node_bytes
+
+
+class SPTreeCache:
+    """Generation-stamped LRU cache of recorded shortest-path trees.
+
+    One instance serves an engine (and its in-process batch executor);
+    parallel workers build their own from the :class:`CacheConfig` threaded
+    through the worker initializer, over the graph they rehydrated from the
+    codec payload (precompute overlays included, when present).
+    """
+
+    def __init__(
+        self,
+        graph: CompiledITGraph,
+        store: Optional[CompiledSnapshotStore] = None,
+        walking_speed: float = WALKING_SPEED_MPS,
+        config: Optional[CacheConfig] = None,
+    ):
+        if walking_speed <= 0:
+            raise ValueError(f"walking speed must be positive, got {walking_speed}")
+        self._graph = graph
+        self._store = store if store is not None else graph.interval_bitsets.store()
+        self._speed = walking_speed
+        self.config = config if config is not None else CacheConfig()
+        self.resolver = TimeKeyResolver(graph)
+        self.generation = 1
+        self._entries: "OrderedDict[tuple, CachedTree]" = OrderedDict()
+        self._miss_tally: "OrderedDict[tuple, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.trees_built = 0
+        self.evictions = 0
+        self.pruned = 0
+
+    # -- keys -----------------------------------------------------------------
+
+    def plan_key(
+        self, kind: int, source, query_seconds: float, source_pidx: int, target_pidx: int
+    ) -> Tuple[tuple, frozenset]:
+        """The batch planner's group key (and allowed-private set) for one
+        located query — the cache's address space and the planner's are the
+        same by construction."""
+        private = self._graph.partition_private
+        privacy_key = (
+            target_pidx if private[target_pidx] and target_pidx != source_pidx else -1
+        )
+        key = (
+            kind,
+            source.x,
+            source.y,
+            source.floor,
+            self.resolver.key(kind, query_seconds),
+            privacy_key,
+        )
+        allowed = (
+            frozenset((source_pidx,))
+            if privacy_key < 0
+            else frozenset((source_pidx, target_pidx))
+        )
+        return key, allowed
+
+    # -- admission / eviction --------------------------------------------------
+
+    def lookup(self, key: tuple) -> Optional[CachedTree]:
+        """The cached tree for ``key``, or ``None`` (counts a hit or miss);
+        stale-generation entries are dropped on contact."""
+        tree = self._entries.get(key)
+        if tree is not None:
+            if tree.generation == self.generation:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return tree
+            del self._entries[key]
+        self.misses += 1
+        return None
+
+    def peek(self, key: tuple) -> Optional[CachedTree]:
+        """Like :meth:`lookup` but without touching counters or LRU order
+        (used by cache warming)."""
+        tree = self._entries.get(key)
+        if tree is not None and tree.generation == self.generation:
+            return tree
+        return None
+
+    def should_build(self, key: tuple) -> bool:
+        """Whether a missed ``key`` has earned a recording run under the
+        configured admission mode."""
+        mode = self.config.mode
+        if mode == "off":
+            return False
+        if mode == "eager":
+            return True
+        tally = self._miss_tally
+        count = tally.get(key, 0) + 1
+        if count >= self.config.promote_after:
+            tally.pop(key, None)
+            return True
+        tally[key] = count
+        tally.move_to_end(key)
+        # The tally is bounded like the cache itself, so a stream of one-off
+        # keys cannot grow it without limit.
+        limit = 4 * self.config.max_entries
+        while len(tally) > limit:
+            tally.popitem(last=False)
+        return False
+
+    def store_tree(self, key: tuple, tree: CachedTree) -> None:
+        """Insert a tree, evicting least-recently-used entries past capacity."""
+        tree.generation = self.generation
+        self._entries[key] = tree
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.config.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Bump the generation: every cached tree becomes stale at once (the
+        recompile / graph-update hook)."""
+        self.generation += 1
+        self._entries.clear()
+        self._miss_tally.clear()
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot (what ``engine.cache_stats`` surfaces)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "trees_built": self.trees_built,
+            "evictions": self.evictions,
+            "pruned": self.pruned,
+            "entries": len(self._entries),
+            "generation": self.generation,
+            "max_entries": self.config.max_entries,
+            "mode": self.config.mode,
+            "memory_bytes": sum(tree.memory_bytes() for tree in self._entries.values()),
+        }
+
+    # -- recording -------------------------------------------------------------
+
+    def build(
+        self,
+        key: tuple,
+        kind: int,
+        method_label: str,
+        source,
+        source_pidx: int,
+        allowed_private,
+        rep_seconds: float,
+    ) -> CachedTree:
+        """Record the zero-target run for ``key`` and cache the tree."""
+        tree = self._record_tree(
+            kind, method_label, source, source_pidx, allowed_private, rep_seconds
+        )
+        self.store_tree(key, tree)
+        self.trees_built += 1
+        return tree
+
+    def build_for_group(self, group) -> CachedTree:
+        """Record and cache the tree of one planned batch group."""
+        return self.build(
+            group.cache_key,
+            group.kind,
+            group.method_label,
+            group.source,
+            group.source_pidx,
+            group.allowed_private,
+            group.rep_seconds,
+        )
+
+    def _record_tree(
+        self, kind, method_label, source, source_pidx, allowed_private, rep_seconds
+    ) -> CachedTree:
+        """The zero-target, full-exhaustion twin of the batch executor's
+        shared search, with the event log recorded alongside.
+
+        Mirrors ``BatchExecutor._run_group`` relaxation for relaxation (same
+        kind-specialised loops, same check-before-relax order, same
+        tie-breaking), which itself mirrors ``ITSPQEngine._search_compiled``:
+        with no target entries in the heap, the source/door event sequence is
+        the common supersequence every member query's private search is a
+        prefix of.
+        """
+        graph = self._graph
+        door_count = graph.door_count
+        source_node = door_count
+        node_count = door_count + 1
+
+        dist = array("d", [_INFINITY]) * node_count
+        prev_node = array("l", [-1]) * node_count
+        prev_part = array("l", [-1]) * node_count
+        settled = bytearray(node_count)
+
+        adjacency = graph.adjacency
+        bounds = graph.ati_bounds
+        door_x = graph.door_x
+        door_y = graph.door_y
+        door_floor = graph.door_floor
+        source_x, source_y, source_floor = source.x, source.y, source.floor
+        speed = self._speed
+
+        heappush_local = heappush
+        heappop_local = heappop
+
+        # -- per-event log ---------------------------------------------------
+        pop_dist = array("d")
+        pop_push = array("l")
+        cum_settled = array("l")
+        cum_relax = array("l")
+        cum_pushes = array("l")
+        cum_parts = array("l")
+        cum_private = array("l")
+        cum_tpruned = array("l")
+        cum_ati = array("l")
+        cum_refresh = array("l")
+        cum_member = array("l")
+        # -- per-push occupancy trajectory (initial SOURCE push included) ----
+        occ_after = array("l", [1])
+        prefix_peak = array("l", [1])
+        rows_by_partition: Dict[int, List[Tuple[int, float, int, int]]] = {}
+
+        doors_settled = 0
+        relaxations = 0
+        partitions_expanded = 0
+        private_pruned = 0
+        temporally_pruned = 0
+        ati_probes = 0
+        snapshot_refreshes = 0
+        membership_checks = 0
+        pushes = 1
+        occupancy = 1
+        peak = 1
+
+        interval_at = None
+        cur_start = cur_end = 0.0
+        cur_bits = b""
+        if kind == 1:
+            interval_at = self._store.interval_at
+            cur_start, cur_end, cur_bits = interval_at(rep_seconds)
+            snapshot_refreshes = 1
+
+        heap: List[Tuple[float, int, int]] = [(0.0, 0, source_node)]
+        dist[source_node] = 0.0
+        tie = 1
+
+        while heap:
+            distance, entry_tie, node = heappop_local(heap)
+            pop_dist.append(distance)
+            pop_push.append(entry_tie)
+            occupancy -= 1
+            if settled[node] or distance > dist[node]:
+                # Stale pop: an event with no counter movement — but an event
+                # nonetheless (members count it in heap_pops).
+                cum_settled.append(doors_settled)
+                cum_relax.append(relaxations)
+                cum_pushes.append(pushes)
+                cum_parts.append(partitions_expanded)
+                cum_private.append(private_pruned)
+                cum_tpruned.append(temporally_pruned)
+                cum_ati.append(ati_probes)
+                cum_refresh.append(snapshot_refreshes)
+                cum_member.append(membership_checks)
+                continue
+            settled[node] = 1
+
+            if node == source_node:
+                partitions_expanded += 1
+                for door_idx in graph.leaveable_by_partition[source_pidx]:
+                    if door_floor[door_idx] != source_floor:
+                        continue
+                    leg = hypot(source_x - door_x[door_idx], source_y - door_y[door_idx])
+                    relaxations += 1
+                    if kind == 0:
+                        open_now = bisect_right(bounds[door_idx], rep_seconds + leg / speed) & 1
+                    elif kind == 1:
+                        t_arr = rep_seconds + leg / speed
+                        if cur_start <= t_arr < cur_end:
+                            membership_checks += 1
+                            open_now = cur_bits[door_idx]
+                        elif t_arr >= cur_end:
+                            cur_start, cur_end, cur_bits = interval_at(t_arr)
+                            snapshot_refreshes += 1
+                            membership_checks += 1
+                            open_now = cur_bits[door_idx]
+                        else:
+                            ati_probes += 1
+                            open_now = bisect_right(bounds[door_idx], t_arr) & 1
+                    elif kind == 2:
+                        open_now = 1
+                    else:
+                        open_now = bisect_right(bounds[door_idx], rep_seconds) & 1
+                    if not open_now:
+                        temporally_pruned += 1
+                        continue
+                    if leg < dist[door_idx]:
+                        dist[door_idx] = leg
+                        prev_node[door_idx] = source_node
+                        prev_part[door_idx] = source_pidx
+                        heappush_local(heap, (leg, tie, door_idx))
+                        tie += 1
+                        pushes += 1
+                        occupancy += 1
+                        if occupancy > peak:
+                            peak = occupancy
+                        occ_after.append(occupancy)
+                        prefix_peak.append(peak)
+            else:
+                doors_settled += 1
+                door_distance = dist[node]
+                for partition_idx, is_private, edges in adjacency[node]:
+                    if is_private and partition_idx not in allowed_private:
+                        private_pruned += 1
+                        continue
+                    partitions_expanded += 1
+
+                    # The target-relax opportunity of this (door, partition)
+                    # expansion: a member targeting ``partition_idx`` would
+                    # push here, before the group's edge pushes.
+                    rows = rows_by_partition.get(partition_idx)
+                    if rows is None:
+                        rows = rows_by_partition[partition_idx] = []
+                    rows.append((node, door_distance, pushes, occupancy))
+
+                    if kind == 0:
+                        for next_idx, leg in edges:
+                            if settled[next_idx]:
+                                continue
+                            candidate = door_distance + leg
+                            relaxations += 1
+                            if (
+                                not bisect_right(bounds[next_idx], rep_seconds + candidate / speed)
+                                & 1
+                            ):
+                                temporally_pruned += 1
+                                continue
+                            if candidate < dist[next_idx]:
+                                dist[next_idx] = candidate
+                                prev_node[next_idx] = node
+                                prev_part[next_idx] = partition_idx
+                                heappush_local(heap, (candidate, tie, next_idx))
+                                tie += 1
+                                pushes += 1
+                                occupancy += 1
+                                if occupancy > peak:
+                                    peak = occupancy
+                                occ_after.append(occupancy)
+                                prefix_peak.append(peak)
+                    elif kind == 1:
+                        for next_idx, leg in edges:
+                            if settled[next_idx]:
+                                continue
+                            candidate = door_distance + leg
+                            relaxations += 1
+                            t_arr = rep_seconds + candidate / speed
+                            if cur_start <= t_arr < cur_end:
+                                membership_checks += 1
+                                open_now = cur_bits[next_idx]
+                            elif t_arr >= cur_end:
+                                cur_start, cur_end, cur_bits = interval_at(t_arr)
+                                snapshot_refreshes += 1
+                                membership_checks += 1
+                                open_now = cur_bits[next_idx]
+                            else:
+                                ati_probes += 1
+                                open_now = bisect_right(bounds[next_idx], t_arr) & 1
+                            if not open_now:
+                                temporally_pruned += 1
+                                continue
+                            if candidate < dist[next_idx]:
+                                dist[next_idx] = candidate
+                                prev_node[next_idx] = node
+                                prev_part[next_idx] = partition_idx
+                                heappush_local(heap, (candidate, tie, next_idx))
+                                tie += 1
+                                pushes += 1
+                                occupancy += 1
+                                if occupancy > peak:
+                                    peak = occupancy
+                                occ_after.append(occupancy)
+                                prefix_peak.append(peak)
+                    elif kind == 2:
+                        for next_idx, leg in edges:
+                            if settled[next_idx]:
+                                continue
+                            candidate = door_distance + leg
+                            relaxations += 1
+                            if candidate < dist[next_idx]:
+                                dist[next_idx] = candidate
+                                prev_node[next_idx] = node
+                                prev_part[next_idx] = partition_idx
+                                heappush_local(heap, (candidate, tie, next_idx))
+                                tie += 1
+                                pushes += 1
+                                occupancy += 1
+                                if occupancy > peak:
+                                    peak = occupancy
+                                occ_after.append(occupancy)
+                                prefix_peak.append(peak)
+                    else:
+                        for next_idx, leg in edges:
+                            if settled[next_idx]:
+                                continue
+                            candidate = door_distance + leg
+                            relaxations += 1
+                            if not bisect_right(bounds[next_idx], rep_seconds) & 1:
+                                temporally_pruned += 1
+                                continue
+                            if candidate < dist[next_idx]:
+                                dist[next_idx] = candidate
+                                prev_node[next_idx] = node
+                                prev_part[next_idx] = partition_idx
+                                heappush_local(heap, (candidate, tie, next_idx))
+                                tie += 1
+                                pushes += 1
+                                occupancy += 1
+                                if occupancy > peak:
+                                    peak = occupancy
+                                occ_after.append(occupancy)
+                                prefix_peak.append(peak)
+
+            cum_settled.append(doors_settled)
+            cum_relax.append(relaxations)
+            cum_pushes.append(pushes)
+            cum_parts.append(partitions_expanded)
+            cum_private.append(private_pruned)
+            cum_tpruned.append(temporally_pruned)
+            cum_ati.append(ati_probes)
+            cum_refresh.append(snapshot_refreshes)
+            cum_member.append(membership_checks)
+
+        # -- block-max index over the occupancy trajectory -------------------
+        block_max = array("l")
+        for start in range(0, len(occ_after), _BLOCK):
+            block_max.append(max(occ_after[start : start + _BLOCK]))
+
+        tree = CachedTree()
+        tree.kind = kind
+        tree.method_label = method_label
+        tree.source_pidx = source_pidx
+        tree.source_x = source_x
+        tree.source_y = source_y
+        tree.source_floor = source_floor
+        tree.rep_seconds = rep_seconds
+        tree.generation = self.generation
+        tree.dist = dist
+        tree.prev_node = prev_node
+        tree.prev_part = prev_part
+        tree.pop_dist = pop_dist
+        tree.pop_push = pop_push
+        tree.cum_settled = cum_settled
+        tree.cum_relax = cum_relax
+        tree.cum_pushes = cum_pushes
+        tree.cum_parts = cum_parts
+        tree.cum_private = cum_private
+        tree.cum_tpruned = cum_tpruned
+        tree.cum_ati = cum_ati
+        tree.cum_refresh = cum_refresh
+        tree.cum_member = cum_member
+        tree.occ_after = occ_after
+        tree.prefix_peak = prefix_peak
+        tree.block_max = block_max
+        tree.rows_by_partition = {
+            pidx: tuple(rows) for pidx, rows in rows_by_partition.items()
+        }
+        tree.total_pushes = pushes
+        tree.total_events = len(pop_dist)
+        return tree
+
+    # -- answering -------------------------------------------------------------
+
+    def answer(self, tree: CachedTree, query: ITSPQuery, target_pidx: int) -> QueryResult:
+        """Answer one member query from a recorded tree — O(path length +
+        rows until settle), no Dijkstra, bit-identical result and statistics
+        (``runtime_seconds`` is the caller's to fill in)."""
+        graph = self._graph
+        kind = tree.kind
+        target = query.target
+        tx, ty, tfloor = target.x, target.y, target.floor
+
+        # -- replay the member's target pushes from the opportunity rows -----
+        best = _INFINITY
+        t_count = 0
+        push_points: List[Tuple[int, int]] = []
+        win_node = -1
+        win_part = -1
+        source_node = graph.door_count
+        if target_pidx == tree.source_pidx and tfloor == tree.source_floor:
+            best = hypot(tree.source_x - tx, tree.source_y - ty)
+            t_count = 1
+            push_points.append((1, 1))
+            win_node = source_node
+            win_part = tree.source_pidx
+        rows = tree.rows_by_partition.get(target_pidx)
+        if rows is not None:
+            door_floor = graph.door_floor
+            door_x = graph.door_x
+            door_y = graph.door_y
+            for node, door_distance, push_count, occupancy in rows:
+                if door_distance >= best:
+                    # Rows are chronological, hence nondecreasing in door
+                    # distance: nothing further can improve the candidate.
+                    break
+                if door_floor[node] != tfloor:
+                    continue
+                candidate = door_distance + hypot(tx - door_x[node], ty - door_y[node])
+                if candidate < best:
+                    best = candidate
+                    t_count += 1
+                    push_points.append((push_count, occupancy))
+                    win_node = node
+                    win_part = target_pidx
+
+        if t_count == 0:
+            # The member's target never enters the heap: its private search
+            # runs the identical full trajectory and exhausts the heap.
+            last = tree.total_events - 1
+            relax = tree.cum_relax[last]
+            stats = SearchStatistics(
+                doors_settled=tree.cum_settled[last],
+                relaxations=relax,
+                heap_pushes=tree.total_pushes,
+                heap_pops=tree.total_events,
+                partitions_expanded=tree.cum_parts[last],
+                private_partitions_pruned=tree.cum_private[last],
+                temporally_pruned_doors=tree.cum_tpruned[last],
+                ati_probes=relax if kind == 0 or kind == 3 else tree.cum_ati[last],
+                snapshot_refreshes=tree.cum_refresh[last],
+                membership_checks=relax if kind == 2 else tree.cum_member[last],
+                peak_heap_size=tree.prefix_peak[tree.total_pushes - 1],
+            )
+            return QueryResult(
+                query=query,
+                method_label=tree.method_label,
+                found=False,
+                path=None,
+                length=_INFINITY,
+                statistics=stats,
+            )
+
+        # -- settle position: binary search over the sorted event log --------
+        best_push = push_points[-1][0]
+        pop_dist = tree.pop_dist
+        pop_push = tree.pop_push
+        lo, hi = 0, tree.total_events
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            event_dist = pop_dist[mid]
+            if event_dist < best or (event_dist == best and pop_push[mid] < best_push):
+                lo = mid + 1
+            else:
+                hi = mid
+        settle = lo  # events completed before the target's settling pop; >= 1
+        last = settle - 1
+
+        # -- peak heap size: prefix max before the first target push, then ---
+        # per-segment range maxima with the member's live-target count added.
+        first_push, first_occ = push_points[0]
+        peak = tree.prefix_peak[first_push - 1]
+        if first_occ + 1 > peak:
+            peak = first_occ + 1
+        for index in range(1, t_count):
+            candidate_peak = push_points[index][1] + index + 1
+            if candidate_peak > peak:
+                peak = candidate_peak
+        shared_pushes = tree.cum_pushes[last]
+        occ_after = tree.occ_after
+        block_max = tree.block_max
+        for index in range(t_count):
+            lo_push = push_points[index][0]
+            hi_push = (push_points[index + 1][0] if index + 1 < t_count else shared_pushes) - 1
+            if lo_push > hi_push:
+                continue
+            lo_block = lo_push >> _BLOCK_SHIFT
+            hi_block = hi_push >> _BLOCK_SHIFT
+            if lo_block == hi_block:
+                segment_max = max(occ_after[lo_push : hi_push + 1])
+            else:
+                segment_max = max(occ_after[lo_push : (lo_block + 1) << _BLOCK_SHIFT])
+                tail_max = max(occ_after[hi_block << _BLOCK_SHIFT : hi_push + 1])
+                if tail_max > segment_max:
+                    segment_max = tail_max
+                if hi_block > lo_block + 1:
+                    middle = max(block_max[lo_block + 1 : hi_block])
+                    if middle > segment_max:
+                        segment_max = middle
+            candidate_peak = segment_max + index + 1
+            if candidate_peak > peak:
+                peak = candidate_peak
+
+        relax = tree.cum_relax[last]
+        stats = SearchStatistics(
+            doors_settled=tree.cum_settled[last],
+            relaxations=relax,
+            heap_pushes=shared_pushes + t_count,
+            heap_pops=settle + 1,
+            partitions_expanded=tree.cum_parts[last],
+            private_partitions_pruned=tree.cum_private[last],
+            temporally_pruned_doors=tree.cum_tpruned[last],
+            ati_probes=relax if kind == 0 or kind == 3 else tree.cum_ati[last],
+            snapshot_refreshes=tree.cum_refresh[last],
+            membership_checks=relax if kind == 2 else tree.cum_member[last],
+            peak_heap_size=peak,
+        )
+
+        return QueryResult(
+            query=query,
+            method_label=tree.method_label,
+            found=True,
+            path=self._reconstruct(tree, query, win_node, win_part, best),
+            length=best,
+            statistics=stats,
+        )
+
+    def _reconstruct(
+        self, tree: CachedTree, query: ITSPQuery, win_node: int, win_part: int, length: float
+    ) -> IndoorPath:
+        """Predecessor-chain walk, arrival times stamped with the member's
+        own query second (the same floats the engines produce)."""
+        graph = self._graph
+        source_node = graph.door_count
+        hops: List[PathHop] = []
+        if win_node != source_node:
+            prev_node = tree.prev_node
+            prev_part = tree.prev_part
+            chain: List[Tuple[int, int]] = []
+            node = win_node
+            while node != source_node:
+                chain.append((node, prev_part[node]))
+                node = prev_node[node]
+            chain.reverse()
+
+            dist = tree.dist
+            door_ids = graph.door_ids
+            partition_ids = graph.partition_ids
+            query_seconds = query.query_time.seconds
+            speed = self._speed
+            from_seconds = TimeOfDay._from_seconds_unchecked
+            last_index = len(chain) - 1
+            for index, (node, via_partition) in enumerate(chain):
+                next_via = chain[index + 1][1] if index < last_index else win_part
+                arrival = from_seconds(query_seconds + dist[node] / speed)
+                hops.append(
+                    PathHop(
+                        door_ids[node],
+                        partition_ids[via_partition],
+                        partition_ids[next_via],
+                        dist[node],
+                        arrival,
+                    )
+                )
+
+        return IndoorPath(
+            source=query.source,
+            target=query.target,
+            query_time=query.query_time,
+            hops=hops,
+            total_length=length,
+            method_label=tree.method_label,
+        )
+
+    # -- overlay-backed pruning ------------------------------------------------
+
+    def prune_result(
+        self,
+        query: ITSPQuery,
+        method_label: str,
+        kind: int,
+        source_pidx: int,
+        target_pidx: int,
+        query_seconds: float,
+    ) -> Optional[QueryResult]:
+        """A not-found answer when the overlays *prove* unreachability, else
+        ``None``.  Found/length are exact (the proof is sound: component rows
+        over-approximate reachability); the counters of a pruned answer are
+        approximate (zeros), which is why pruning is opt-in."""
+        if not self.config.prune_unreachable:
+            return None
+        overlays = self._graph.overlays
+        if overlays is None:
+            return None
+        source = query.source
+        target = query.target
+        if source_pidx == target_pidx and source.floor == target.floor:
+            return None  # the door-free direct leg always exists
+        if kind == 3 and self.resolver.interval_indexing_sound():
+            row = overlays.row_for_kind(kind, self.resolver.interval_index(query_seconds))
+        else:
+            row = overlays.row_for_kind(kind)
+        if overlays.connected(
+            row,
+            self._graph.leaveable_by_partition[source_pidx],
+            overlays.entering_doors[target_pidx],
+        ):
+            return None
+        self.pruned += 1
+        return QueryResult(
+            query=query,
+            method_label=method_label,
+            found=False,
+            path=None,
+            length=_INFINITY,
+            statistics=SearchStatistics(),
+        )
+
+    # -- warming ---------------------------------------------------------------
+
+    def warm(self, groups) -> int:
+        """Record trees for every planned group not already cached; returns
+        the number of trees built (the compile-time warm-up pass)."""
+        built = 0
+        for group in groups:
+            key = getattr(group, "cache_key", None)
+            if key is None or self.peek(key) is not None:
+                continue
+            self.build_for_group(group)
+            built += 1
+        return built
+
+    # -- timing helper ---------------------------------------------------------
+
+    def answer_timed(self, tree: CachedTree, query: ITSPQuery, target_pidx: int) -> QueryResult:
+        """:meth:`answer` with ``runtime_seconds`` measured around the call
+        (the single-query engine seam stamps its own; this is for callers
+        answering straight off the cache)."""
+        started = time.perf_counter()
+        result = self.answer(tree, query, target_pidx)
+        result.statistics.runtime_seconds = time.perf_counter() - started
+        return result

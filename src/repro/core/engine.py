@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.constants import WALKING_SPEED_MPS
 from repro.core.batch import BatchExecutor
+from repro.core.cache import CacheConfig, SPTreeCache
 from repro.core.compiled import COMPILED_KINDS, CompiledITGraph
 from repro.core.parallel import ExecutionReport, ParallelBatchExecutor, default_worker_count
 from repro.core.itgraph import ITGraph
@@ -99,6 +100,7 @@ class ITSPQEngine:
         walking_speed: float = WALKING_SPEED_MPS,
         partition_once: bool = False,
         compiled: bool = True,
+        cache: Union[None, bool, CacheConfig] = None,
     ):
         if walking_speed <= 0:
             raise ValueError(f"walking speed must be positive, got {walking_speed}")
@@ -112,6 +114,20 @@ class ITSPQEngine:
         # strategies rely on.  ``partition_once`` always uses the reference
         # search (it is the literal-Algorithm-1 study mode, not a hot path).
         self._compiled_enabled = compiled and not partition_once
+        # ``cache`` opts into the interval-keyed shortest-path-tree cache on
+        # the compiled path: ``True`` enables the defaults, a CacheConfig
+        # tunes capacity/admission/precompute, ``None``/``False`` keeps every
+        # query on the fresh-search path (the default — caching is a
+        # service-workload optimisation, not a correctness feature).
+        if cache is None or cache is False:
+            self._cache_config: Optional[CacheConfig] = None
+        elif cache is True:
+            self._cache_config = CacheConfig()
+        elif isinstance(cache, CacheConfig):
+            self._cache_config = cache
+        else:
+            raise TypeError(f"cache must be a CacheConfig or boolean, got {cache!r}")
+        self._cache: Optional[SPTreeCache] = None
         self._compiled_graph: Optional[CompiledITGraph] = None
         self._compiled_store: Optional[CompiledSnapshotStore] = None
         self._batch_executor: Optional[BatchExecutor] = None
@@ -162,6 +178,15 @@ class ITSPQEngine:
         if self._compiled_graph is None:
             self._compiled_graph = self._itgraph.compiled()
             self._compiled_store = self._compiled_graph.interval_bitsets.store()
+        if self._cache_config is not None and self._cache is None:
+            if self._cache_config.precompute and self._compiled_graph.overlays is None:
+                self._compiled_graph.build_overlays()
+            self._cache = SPTreeCache(
+                self._compiled_graph,
+                self._compiled_store,
+                self._walking_speed,
+                self._cache_config,
+            )
         return self._compiled_graph
 
     def query(
@@ -210,7 +235,11 @@ class ITSPQEngine:
             if self._compiled_enabled:
                 self.ensure_compiled()
                 started = time.perf_counter()
-                result = self._search_compiled(itsp_query, method_name)
+                result = None
+                if self._cache is not None:
+                    result = self._cached_compiled(itsp_query, method_name)
+                if result is None:
+                    result = self._search_compiled(itsp_query, method_name)
                 result.statistics.runtime_seconds = time.perf_counter() - started
                 return result
             strategy = make_strategy(method_name, self._itgraph, self._updater, self._walking_speed)
@@ -218,6 +247,70 @@ class ITSPQEngine:
         result = self._search(itsp_query, strategy)
         result.statistics.runtime_seconds = time.perf_counter() - started
         return result
+
+    @property
+    def cache(self) -> Optional[SPTreeCache]:
+        """The engine's shortest-path-tree cache (``None`` when caching is
+        off or the compiled index is not yet built)."""
+        return self._cache
+
+    @property
+    def cache_stats(self) -> Optional[Dict[str, object]]:
+        """Hit/miss/build/eviction counters of the engine cache, or ``None``
+        when caching is off."""
+        if self._cache_config is not None:
+            self.ensure_compiled()
+        return self._cache.stats() if self._cache is not None else None
+
+    def warm_cache(
+        self,
+        queries: List[ITSPQuery],
+        method: MethodLike = CheckMethod.SYNCHRONOUS,
+    ) -> int:
+        """Record the shortest-path trees a workload will need, ahead of
+        time; returns the number of trees built.
+
+        Plans ``queries`` exactly as :meth:`run_batch` would and records one
+        tree per group not already cached, regardless of the admission mode —
+        warming is the explicit opt-in that bypasses promotion thresholds.
+        """
+        if not self._compiled_enabled:
+            raise QueryError("cache warming requires the compiled fast path")
+        self.ensure_compiled()
+        if self._cache is None:
+            raise QueryError("cache warming requires an engine cache (cache=... option)")
+        method_name = canonical_method(_normalise_method(method))
+        groups = self.batch_executor().planner.plan(list(queries), method_name)
+        return self._cache.warm(groups)
+
+    def _cached_compiled(self, itsp_query: ITSPQuery, method_name: str) -> Optional[QueryResult]:
+        """Answer one query from the cache, or ``None`` to fall through to
+        the fresh compiled search (key not admitted yet)."""
+        cache = self._cache
+        graph = self._compiled_graph
+        kind, method_label = COMPILED_KINDS[method_name]
+        try:
+            source_pidx = graph.locate_index(itsp_query.source)
+            target_pidx = graph.locate_index(itsp_query.target)
+        except UnknownEntityError as exc:
+            raise QueryError(f"query endpoint outside the indoor space: {exc}") from exc
+        query_seconds = itsp_query.query_time.seconds
+        pruned = cache.prune_result(
+            itsp_query, method_label, kind, source_pidx, target_pidx, query_seconds
+        )
+        if pruned is not None:
+            return pruned
+        key, allowed = cache.plan_key(
+            kind, itsp_query.source, query_seconds, source_pidx, target_pidx
+        )
+        tree = cache.lookup(key)
+        if tree is None:
+            if not cache.should_build(key):
+                return None
+            tree = cache.build(
+                key, kind, method_label, itsp_query.source, source_pidx, allowed, query_seconds
+            )
+        return cache.answer(tree, itsp_query, target_pidx)
 
     def batch_executor(self) -> BatchExecutor:
         """The engine's :class:`~repro.core.batch.BatchExecutor` (built lazily).
@@ -231,7 +324,10 @@ class ITSPQEngine:
         self.ensure_compiled()
         if self._batch_executor is None:
             self._batch_executor = BatchExecutor(
-                self._compiled_graph, self._compiled_store, self._walking_speed
+                self._compiled_graph,
+                self._compiled_store,
+                self._walking_speed,
+                cache=self._cache,
             )
         return self._batch_executor
 
@@ -271,6 +367,7 @@ class ITSPQEngine:
                 store=self._compiled_store,
                 walking_speed=self._walking_speed,
                 payload=self._compiled_payload,
+                cache=self._cache,
                 **options,
             )
             self._parallel_executors[count] = executor

@@ -141,7 +141,9 @@ def _register_live_executor(executor: "ParallelBatchExecutor") -> None:
         _ATEXIT_REGISTERED = True
 
 
-def _init_worker(payload: bytes, walking_speed: float, fault_plan, generation: int) -> None:
+def _init_worker(
+    payload: bytes, walking_speed: float, fault_plan, generation: int, cache_config=None
+) -> None:
     """Pool initializer: rehydrate the compiled index and build the arena.
 
     Runs once per worker process.  Workers never see IT-Graph objects — the
@@ -149,6 +151,12 @@ def _init_worker(payload: bytes, walking_speed: float, fault_plan, generation: i
     regardless of venue complexity and identical under every multiprocessing
     start method.  ``generation`` is the parent's pool-respawn counter;
     fault plans use it to sabotage only specific pool incarnations.
+
+    ``cache_config`` (a picklable :class:`~repro.core.cache.CacheConfig`, or
+    ``None``) gives each worker its own shortest-path-tree cache over the
+    rehydrated graph — including any precompute overlays that rode along in
+    the payload's ``precompute`` section; trees themselves never cross the
+    process boundary.
     """
     global _WORKER_EXECUTOR, _WORKER_FAULT_PLAN
     from repro.io.compiled_codec import compiled_graph_from_bytes
@@ -158,7 +166,7 @@ def _init_worker(payload: bytes, walking_speed: float, fault_plan, generation: i
 
         payload = prepare_worker_payload(fault_plan, payload, generation)
     _WORKER_EXECUTOR = BatchExecutor(
-        compiled_graph_from_bytes(payload), walking_speed=walking_speed
+        compiled_graph_from_bytes(payload), walking_speed=walking_speed, cache=cache_config
     )
     _WORKER_FAULT_PLAN = fault_plan
 
@@ -342,6 +350,7 @@ class ParallelBatchExecutor:
         backoff_cap: float = 2.0,
         in_process_fallback: bool = True,
         fault_plan=None,
+        cache=None,
     ):
         if workers < 1:
             raise ValueError(f"worker count must be positive, got {workers}")
@@ -355,7 +364,13 @@ class ParallelBatchExecutor:
             raise ValueError("backoff parameters must be non-negative")
         self._workers = int(workers)
         self._chunks_per_worker = int(chunks_per_worker)
-        self._local = BatchExecutor(compiled_graph, store, walking_speed)
+        # The parent shares ``cache`` (an SPTreeCache or CacheConfig) with
+        # its in-process fallback executor; workers get their own caches,
+        # rebuilt from the *config* in the pool initializer — cached trees
+        # are process-local by design.
+        self._local = BatchExecutor(compiled_graph, store, walking_speed, cache=cache)
+        local_cache = self._local.cache
+        self._cache_config = local_cache.config if local_cache is not None else None
         self._speed = walking_speed
         self._payload = payload
         self._start_method = start_method
@@ -620,7 +635,13 @@ class ParallelBatchExecutor:
                 max_workers=self._workers,
                 mp_context=context,
                 initializer=_init_worker,
-                initargs=(self.payload_bytes(), self._speed, self._fault_plan, generation),
+                initargs=(
+                    self.payload_bytes(),
+                    self._speed,
+                    self._fault_plan,
+                    generation,
+                    self._cache_config,
+                ),
             )
             self._pools_spawned += 1
             _register_live_executor(self)

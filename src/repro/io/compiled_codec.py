@@ -11,15 +11,21 @@ IT-Graph.
 
 Format
 ------
-A versioned little-endian binary layout (version 2):
+A versioned little-endian binary layout (version 3):
 
 * an 8-byte magic/version header and a 4-byte body length,
 * a section table — one CRC32-checksummed, length-prefixed section per
   logical block of the compiled graph (interned id tables, partition flags,
   dense ``DM`` matrices, flattened adjacency, ATI boundary arrays, open-door
   bitsets, door geometry, leaveable-door lists and the point-location
-  polygon rows — see :data:`SECTION_NAMES`),
+  polygon rows — see :data:`SECTION_NAMES`), optionally followed by one
+  ``precompute`` section (:data:`OPTIONAL_SECTION_NAME`) holding the graph's
+  :class:`~repro.core.compiled.IntervalOverlays` — per-interval component
+  rows and landmark distance rows, present iff the graph carries overlays,
 * a trailing CRC32 over everything before it (the whole-payload checksum).
+
+Version 3 differs from version 2 only in allowing the optional tenth
+section; version-2 payloads (always exactly nine sections) still load.
 
 All floats are IEEE-754 doubles written verbatim, so every distance,
 boundary instant and polygon vertex round-trips **exactly** — the
@@ -48,7 +54,7 @@ from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 from zlib import crc32
 
-from repro.core.compiled import CompiledITGraph
+from repro.core.compiled import CompiledITGraph, IntervalOverlays
 from repro.core.snapshot import IntervalBitsets
 from repro.exceptions import CorruptPayloadError, SerializationError
 from repro.geometry.point import Point2D
@@ -57,12 +63,14 @@ from repro.geometry.polygon import Polygon, Rectangle
 #: Magic prefix of every payload; the trailing pair is the format version.
 _MAGIC = b"RPROCG"
 #: Version 2 added the CRC-checksummed section table (version-1 payloads,
-#: which carried no integrity information at all, are rejected).
-_VERSION = 2
+#: which carried no integrity information at all, are rejected); version 3
+#: added the optional ``precompute`` section.  Both still load.
+_VERSION = 3
+_SUPPORTED_VERSIONS = (2, 3)
 _HEADER = struct.Struct("<6sH")
 _U32 = struct.Struct("<I")
 
-#: The checksummed sections of a payload, in serialisation order.
+#: The mandatory checksummed sections of a payload, in serialisation order.
 SECTION_NAMES = (
     "id-tables",
     "partition-flags",
@@ -74,6 +82,10 @@ SECTION_NAMES = (
     "leaveable-doors",
     "point-location",
 )
+
+#: The optional trailing section (version 3+): serialised
+#: :class:`~repro.core.compiled.IntervalOverlays`.
+OPTIONAL_SECTION_NAME = "precompute"
 
 _POLYGON_KIND = 0
 _RECTANGLE_KIND = 1
@@ -304,17 +316,81 @@ def _sections_of(graph: CompiledITGraph) -> List[bytes]:
     return sections
 
 
+def _precompute_section(overlays: IntervalOverlays) -> bytes:
+    """The optional ``precompute`` section: serialised overlay arrays.
+
+    ``entering_doors`` is a pure function of the adjacency section and is
+    rederived at decode time rather than serialised.
+    """
+    writer = _Writer()
+    writer.u32(overlays.door_count)
+    writer.u32(overlays.interval_count)
+    for row in overlays.component_rows:
+        writer.i32_array(row)
+    writer.u32(len(overlays.landmark_indices))
+    writer.u32_array(overlays.landmark_indices)
+    for per_interval in overlays.landmark_rows:
+        for row in per_interval:
+            writer.f64_array(row)
+    return writer.getvalue()
+
+
+def _decode_precompute(
+    section: bytes, adjacency, partition_count: int, door_count: int, interval_count: int
+) -> IntervalOverlays:
+    """Rebuild :class:`IntervalOverlays` from the optional section's bytes."""
+    reader = _Reader(section)
+    stored_doors = reader.u32()
+    stored_intervals = reader.u32()
+    if stored_doors != door_count or stored_intervals != interval_count:
+        raise SerializationError(
+            f"precompute section disagrees with the compiled graph: "
+            f"{stored_doors} doors / {stored_intervals} intervals, "
+            f"expected {door_count} / {interval_count}"
+        )
+    component_rows = tuple(reader.i32_array() for _ in range(interval_count + 2))
+    for row in component_rows:
+        if len(row) != door_count:
+            raise SerializationError("precompute component row disagrees with the door table")
+    landmark_count = reader.u32()
+    landmark_indices = tuple(reader.u32_array())
+    if len(landmark_indices) != landmark_count:
+        raise SerializationError("precompute landmark table disagrees with its count word")
+    landmark_rows = []
+    for _ in range(interval_count):
+        per_interval = tuple(reader.f64_array() for _ in range(landmark_count))
+        for row in per_interval:
+            if len(row) != door_count:
+                raise SerializationError(
+                    "precompute landmark row disagrees with the door table"
+                )
+        landmark_rows.append(per_interval)
+    if not reader.done():
+        raise SerializationError("trailing bytes after the precompute section data")
+    return IntervalOverlays(
+        door_count,
+        interval_count,
+        component_rows,
+        landmark_indices,
+        tuple(landmark_rows),
+        IntervalOverlays.entering_from_adjacency(adjacency, partition_count),
+    )
+
+
 def compiled_graph_to_bytes(graph: CompiledITGraph) -> bytes:
     """Serialise a compiled graph (including its interval bitsets) to bytes.
 
     The payload captures everything query execution touches — a graph
     rebuilt by :func:`compiled_graph_from_bytes` plans and answers the same
-    workloads with bit-identical results.  It does **not** capture the
-    source :class:`~repro.core.itgraph.ITGraph`.  Every section carries a
-    CRC32 and the whole payload a trailing CRC32, so in-flight damage is
-    detected at rehydration instead of decoded into a wrong index.
+    workloads with bit-identical results (precompute overlays riding along
+    when the graph carries them).  It does **not** capture the source
+    :class:`~repro.core.itgraph.ITGraph`.  Every section carries a CRC32 and
+    the whole payload a trailing CRC32, so in-flight damage is detected at
+    rehydration instead of decoded into a wrong index.
     """
     sections = _sections_of(graph)
+    if graph.overlays is not None:
+        sections.append(_precompute_section(graph.overlays))
     parts: List[bytes] = [_U32.pack(len(sections))]
     for section in sections:
         parts.append(_U32.pack(len(section)))
@@ -325,13 +401,15 @@ def compiled_graph_to_bytes(graph: CompiledITGraph) -> bytes:
     return framed + _U32.pack(crc32(framed))
 
 
-def _checked_sections(data: bytes) -> List[bytes]:
-    """Validate framing and every checksum; return the raw section bytes.
+def _checked_sections(data: bytes) -> List[Tuple[str, bytes]]:
+    """Validate framing and every checksum; return ``(name, bytes)`` pairs.
 
     Framing violations (foreign magic, unsupported version, truncation,
     trailing bytes, impossible section table) raise
     :class:`SerializationError`; intact framing with mismatching checksums —
-    damaged content — raises :class:`CorruptPayloadError`.
+    damaged content — raises :class:`CorruptPayloadError`.  The result lists
+    the nine mandatory sections, plus the ``precompute`` section when the
+    (version-3) payload carries one.
     """
     prefix = _HEADER.size + _U32.size
     if len(data) < prefix + _U32.size:
@@ -339,9 +417,10 @@ def _checked_sections(data: bytes) -> List[bytes]:
     magic, version = _HEADER.unpack_from(data)
     if magic != _MAGIC:
         raise SerializationError(f"not a compiled-graph payload (magic {magic!r})")
-    if version != _VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise SerializationError(
-            f"unsupported compiled-graph format version {version} (expected {_VERSION})"
+            f"unsupported compiled-graph format version {version} "
+            f"(expected one of {_SUPPORTED_VERSIONS})"
         )
     (body_length,) = _U32.unpack_from(data, _HEADER.size)
     total = prefix + body_length + _U32.size
@@ -363,15 +442,25 @@ def _checked_sections(data: bytes) -> List[bytes]:
     end = total - _U32.size
     (section_count,) = _U32.unpack_from(data, offset)
     offset += _U32.size
-    if section_count != len(SECTION_NAMES):
-        raise SerializationError(
-            f"compiled-graph payload carries {section_count} sections, "
-            f"expected {len(SECTION_NAMES)}"
+    names = list(SECTION_NAMES)
+    if version >= 3 and section_count == len(SECTION_NAMES) + 1:
+        names.append(OPTIONAL_SECTION_NAME)
+    elif section_count != len(SECTION_NAMES):
+        expected = (
+            f"{len(SECTION_NAMES)} or {len(SECTION_NAMES) + 1}"
+            if version >= 3
+            else f"{len(SECTION_NAMES)}"
         )
-    sections: List[bytes] = []
-    for name in SECTION_NAMES:
+        raise SerializationError(
+            f"compiled-graph payload carries {section_count} sections, expected {expected}"
+        )
+    sections: List[Tuple[str, bytes]] = []
+    for name in names:
         if offset + 2 * _U32.size > end:
-            raise SerializationError(f"section table truncated at section {name!r}")
+            raise SerializationError(
+                f"section table ends after {len(sections)} of {section_count} "
+                f"declared sections (truncated at {name!r})"
+            )
         (length,) = _U32.unpack_from(data, offset)
         (section_crc,) = _U32.unpack_from(data, offset + _U32.size)
         offset += 2 * _U32.size
@@ -383,7 +472,7 @@ def _checked_sections(data: bytes) -> List[bytes]:
             raise CorruptPayloadError(
                 f"section {name!r} of the compiled-graph payload failed its CRC32 check"
             )
-        sections.append(section)
+        sections.append((name, section))
     if offset != end:
         raise SerializationError(
             f"{end - offset} unframed bytes after the last compiled-graph section"
@@ -411,7 +500,7 @@ def payload_section_spans(data: bytes) -> List[Tuple[str, int, int]]:
     sections = _checked_sections(data)
     spans: List[Tuple[str, int, int]] = []
     offset = _HEADER.size + 2 * _U32.size  # header, body length, section count
-    for name, section in zip(SECTION_NAMES, sections):
+    for name, section in sections:
         offset += 2 * _U32.size  # section length + CRC words
         spans.append((name, offset, offset + len(section)))
         offset += len(section)
@@ -430,7 +519,12 @@ def compiled_graph_from_bytes(data: bytes) -> CompiledITGraph:
         When the framing is intact but a section CRC or the whole-payload
         CRC does not match (bit-flips, partial overwrites).
     """
-    reader = _Reader(b"".join(_checked_sections(data)))
+    named_sections = _checked_sections(data)
+    precompute: Optional[bytes] = None
+    if named_sections and named_sections[-1][0] == OPTIONAL_SECTION_NAME:
+        precompute = named_sections[-1][1]
+        named_sections = named_sections[:-1]
+    reader = _Reader(b"".join(section for _name, section in named_sections))
 
     door_ids = [reader.text() for _ in range(reader.u32())]
     partition_ids = [reader.text() for _ in range(reader.u32())]
@@ -503,6 +597,16 @@ def compiled_graph_from_bytes(data: bytes) -> CompiledITGraph:
             "compiled-graph section data"
         )
 
+    overlays: Optional[IntervalOverlays] = None
+    if precompute is not None:
+        overlays = _decode_precompute(
+            precompute,
+            adjacency,
+            partition_count,
+            door_count,
+            interval_bitsets.interval_count,
+        )
+
     return CompiledITGraph._from_state(
         {
             "door_ids": door_ids,
@@ -519,5 +623,6 @@ def compiled_graph_from_bytes(data: bytes) -> CompiledITGraph:
             "door_floor": door_floor,
             "leaveable_by_partition": leaveable_by_partition,
             "locate_specs": locate_specs,
+            "overlays": overlays,
         }
     )

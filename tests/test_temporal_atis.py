@@ -155,3 +155,67 @@ class TestAlgebra:
 
     def test_complement_of_empty_is_whole_day(self):
         assert ATISet.never_open().complement() == ATISet.always_open()
+
+
+class TestNextOpening:
+    """Direct coverage of ``next_opening`` — the probe the waiting-tolerant
+    cache-adjacent variants are built on, so its boundary semantics (half-open
+    intervals, idempotence while open) are pinned down case by case here."""
+
+    def test_already_open_returns_the_instant_itself(self, d9_atis):
+        for instant in ("0:00", "3:17", "6:30", "12:00", "22:59:59"):
+            assert d9_atis.next_opening(instant) == TimeOfDay(instant)
+
+    def test_open_boundary_is_inclusive(self, d9_atis):
+        # An interval start is an open instant: no waiting.
+        assert d9_atis.next_opening("6:30") == TimeOfDay("6:30")
+
+    def test_close_boundary_is_exclusive(self, d9_atis):
+        # At a close boundary the door is shut; the answer is the next start.
+        assert d9_atis.next_opening("6:00") == TimeOfDay("6:30")
+        assert d9_atis.next_opening("23:00") is None
+
+    def test_inside_a_gap_returns_the_next_start(self, d9_atis):
+        assert d9_atis.next_opening("6:00:01") == TimeOfDay("6:30")
+        assert d9_atis.next_opening("6:29:59") == TimeOfDay("6:30")
+
+    def test_before_the_first_interval(self):
+        atis = ATISet.from_pairs([("9:00", "17:00")])
+        assert atis.next_opening("0:00") == TimeOfDay("9:00")
+        assert atis.next_opening("8:59:59") == TimeOfDay("9:00")
+
+    def test_after_the_last_interval_is_none(self, d9_atis):
+        assert d9_atis.next_opening("23:00:01") is None
+        assert d9_atis.next_opening("23:59:59") is None
+
+    def test_never_open_is_always_none(self):
+        atis = ATISet.never_open()
+        for instant in ("0:00", "12:00", "23:59:59"):
+            assert atis.next_opening(instant) is None
+
+    def test_always_open_returns_every_instant(self):
+        atis = ATISet.always_open()
+        for instant in ("0:00", "12:00", "23:59:59"):
+            assert atis.next_opening(instant) == TimeOfDay(instant)
+
+    def test_accepts_time_of_day_instances(self, d9_atis):
+        assert d9_atis.next_opening(TimeOfDay("6:10")) == TimeOfDay("6:30")
+
+    def test_result_is_the_minimal_open_instant(self, d9_atis):
+        # Property on a dense grid: the result is open, is >= the probe, and
+        # no open instant exists strictly between the probe and the result.
+        step = 150  # seconds
+        boundaries = [t.seconds for t in d9_atis.boundary_times()]
+        probes = sorted({float(s) for s in range(0, 24 * 3600, step)} | set(boundaries))
+        for seconds in probes:
+            probe = TimeOfDay.from_hours(seconds / 3600.0)
+            result = d9_atis.next_opening(probe)
+            if result is None:
+                later = [b for b in boundaries if b >= seconds]
+                assert not any(d9_atis.contains_seconds(b) for b in later)
+                continue
+            assert result >= probe
+            assert d9_atis.contains(result)
+            for boundary in boundaries:
+                if seconds <= boundary < result.seconds:
+                    assert not d9_atis.contains_seconds(boundary)
