@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Per-semantics query latency of the pluggable temporal-semantics kernel.
+
+Every execution tier answers all four temporal semantics — no-wait (the
+paper's ITSPQ), wait-tolerant, latest-departure and time-window — through
+one shared probe closure (:func:`repro.core.semantics.make_edge_probe`).
+This benchmark quantifies what that pluggability costs: the same workload is
+re-tagged under each semantics and timed on the compiled single-query
+engine and the batch executor, all on the synchronous method (the only
+method the non-default semantics support).  Two venues:
+
+``example``
+    The paper's running example (Figure 1 / Table I).
+``fig6-mall``
+    The synthetic multi-floor mall of the evaluation at the chosen scale
+    (default ``paper``, the Table II setting).
+
+Before any timing is trusted, the compiled engine and the batch executor
+are asserted bit-identical (results **and** every ``SearchStatistics``
+counter) per semantics — the same cross-tier contract
+``scripts/check_perf.py`` gates and ``tests/test_semantics_parity.py``
+sweeps.
+
+Reported per venue and semantics: median/mean per-query latency, found
+fraction, mean relaxations and the batch throughput, plus each semantics'
+latency overhead relative to no-wait (the summary headline — the probe
+kernel's dispatch is per-search, so non-default semantics should cost only
+their extra ATI arithmetic, not a constant-factor penalty).
+
+Writes a JSON perf record (default ``BENCH_semantics.json`` at the
+repository root) with full environment provenance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_semantics.py
+    PYTHONPATH=src python benchmarks/bench_semantics.py --scale small -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from _bench_env import bench_environment  # noqa: E402
+from repro.bench.experiments import (  # noqa: E402
+    ExperimentScale,
+    build_environment,
+    default_grid,
+)
+from repro.bench.harness import run_batch_query_set, run_query_set  # noqa: E402
+from repro.bench.reporting import format_table  # noqa: E402
+from repro.core.engine import ITSPQEngine  # noqa: E402
+from repro.core.query import ITSPQuery, SearchStatistics  # noqa: E402
+from repro.core.semantics import (  # noqa: E402
+    NO_WAIT,
+    LatestDeparture,
+    TimeWindow,
+    WaitTolerant,
+)
+from repro.datasets.example_floorplan import (  # noqa: E402
+    build_example_itgraph,
+    example_fanout_endpoints,
+)
+from repro.synthetic.queries import QueryWorkloadConfig, generate_query_instances  # noqa: E402
+
+#: The benchmarked semantics, no-wait first (it is the overhead baseline).
+SEMANTICS = (
+    ("no-wait", NO_WAIT),
+    ("wait-tolerant", WaitTolerant()),
+    ("latest-departure", LatestDeparture()),
+    ("time-window(600s)", TimeWindow(window_seconds=600.0)),
+)
+
+_STAT_KEYS = SearchStatistics.COUNTER_FIELDS
+
+
+def example_workload():
+    itgraph = build_example_itgraph()
+    sources, targets = example_fanout_endpoints(itgraph)
+    return itgraph, [
+        ITSPQuery(source, target, query_time)
+        for query_time in ("6:30", "9:00", "12:00", "21:00")
+        for source in sources
+        for target in targets
+        if source is not target
+    ]
+
+
+def fig6_workload(scale: ExperimentScale):
+    """The fig6 synthetic-mall workload (venue built once, shared)."""
+    grid = default_grid(scale)
+    environment = build_environment(scale, grid=grid)
+    itgraph = environment.itgraph
+    queries = []
+    for query_time in ("8:00", "12:00", "20:00"):
+        generated = generate_query_instances(
+            itgraph,
+            QueryWorkloadConfig(
+                s2t_distance=grid.default_s2t,
+                pairs=grid.query_pairs,
+                query_time=query_time,
+                seed=grid.workload_seed,
+            ),
+        )
+        queries += [g.query for g in generated]
+    return itgraph, queries
+
+
+def assert_tier_parity(engine, queries):
+    """Compiled single-query vs batch executor, bit-for-bit, before timing."""
+    expected = [engine.run(query) for query in queries]
+    for exp, act in zip(expected, engine.run_batch(queries)):
+        if (
+            exp.found != act.found
+            or exp.length != act.length
+            or any(
+                getattr(exp.statistics, key) != getattr(act.statistics, key)
+                for key in _STAT_KEYS
+            )
+        ):
+            raise AssertionError(
+                f"compiled/batch disagreement on {act.query} "
+                f"[{act.query.semantics.name}]: {exp.length} vs {act.length}"
+            )
+
+
+def run_venue(venue_name, itgraph, queries, repetitions):
+    """Benchmark every semantics on one venue; returns the result rows."""
+    engine = ITSPQEngine(itgraph)
+    engine.ensure_compiled()
+    rows = []
+    for name, semantics in SEMANTICS:
+        tagged = [query.with_semantics(semantics) for query in queries]
+        assert_tier_parity(engine, tagged)
+        single = run_query_set(engine, tagged, "synchronous", repetitions=repetitions)
+        batched = run_batch_query_set(
+            engine, tagged, "synchronous", repetitions=repetitions
+        )
+        rows.append(
+            {
+                "venue": venue_name,
+                "semantics": name,
+                "queries": len(tagged),
+                "found_fraction": round(single.found_fraction, 3),
+                "p50_time_us": round(single.p50_time_us, 1),
+                "mean_time_us": round(single.mean_time_us, 1),
+                "mean_relaxations": round(single.mean_relaxations, 1),
+                "batch_qps": round(len(tagged) / batched.best_seconds),
+            }
+        )
+    baseline = rows[0]["p50_time_us"]
+    for row in rows:
+        row["overhead_vs_no_wait"] = round(row["p50_time_us"] / baseline, 2)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_BENCH_SCALE", "paper"),
+        choices=[scale.value for scale in ExperimentScale],
+        help="fig6 venue/workload scale (default: paper, the Table II setting)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=5, help="timed repetitions per query"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_semantics.json",
+        help="where to write the JSON perf record",
+    )
+    args = parser.parse_args(argv)
+
+    rows = []
+    example_itgraph, example_queries = example_workload()
+    rows += run_venue("example", example_itgraph, example_queries, args.repetitions)
+    mall_itgraph, mall_queries = fig6_workload(ExperimentScale(args.scale))
+    rows += run_venue("fig6-mall", mall_itgraph, mall_queries, args.repetitions)
+
+    mall_overheads = {
+        row["semantics"]: row["overhead_vs_no_wait"]
+        for row in rows
+        if row["venue"] == "fig6-mall"
+    }
+    record = {
+        "benchmark": "bench_semantics",
+        "workload": "fig6 query set re-tagged under every temporal semantics",
+        "scale": args.scale,
+        "environment": bench_environment(),
+        "summary": {
+            "fig6_mall_overhead_vs_no_wait": mall_overheads,
+            "note": (
+                "overhead is the per-semantics p50 latency divided by the "
+                "no-wait p50 on the same venue and workload (synchronous "
+                "method, compiled engine)"
+            ),
+        },
+        "rows": rows,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(format_table(rows))
+    print()
+    overheads = ", ".join(
+        f"{name} {ratio:.2f}x" for name, ratio in mall_overheads.items()
+    )
+    print(f"fig6-mall latency vs no-wait: {overheads}")
+    print(f"\nperf record written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,14 @@ Intended for CI/pre-merge use, on the paper's running-example floorplan
    gate only proves warm hits beat cold searches at all — the headline
    warm-path speedup is measured on the clustered mall workload by
    ``benchmarks/bench_cache_hit.py`` (``BENCH_cache.json``).
-4. **Parallel gates** (``--workers N``, N > 1) — run the same fan-out
+4. **Semantics gates** — re-tag the example workload under every temporal
+   semantics (no-wait, wait-tolerant, latest-departure, a 10-minute time
+   window) and fail when the reference engine, the compiled engine and the
+   batch executor disagree on any answer — found flag, length or **any**
+   ``SearchStatistics`` counter.  This is the cross-tier contract of the
+   pluggable-semantics kernel (:mod:`repro.core.semantics`): one probe
+   closure serves every tier, so a drift between tiers is a kernel bug.
+5. **Parallel gates** (``--workers N``, N > 1) — run the same fan-out
    workload through the :class:`~repro.core.parallel.ParallelBatchExecutor`
    and fail on any disagreement with the sequential engine (results must be
    bit-identical including statistics).  Throughput is gated only when
@@ -65,6 +72,12 @@ from repro.bench.reporting import format_table  # noqa: E402
 from repro.core.cache import CacheConfig  # noqa: E402
 from repro.core.engine import ITSPQEngine  # noqa: E402
 from repro.core.query import ITSPQuery, SearchStatistics  # noqa: E402
+from repro.core.semantics import (  # noqa: E402
+    NO_WAIT,
+    LatestDeparture,
+    TimeWindow,
+    WaitTolerant,
+)
 from repro.datasets.example_floorplan import (  # noqa: E402
     build_example_itgraph,
     example_fanout_endpoints,
@@ -78,6 +91,14 @@ QUERY_TIMES = ("6:30", "9:00", "12:00", "15:55", "21:00")
 
 #: Statistics fields the parallel gate compares (everything but runtime).
 _STAT_KEYS = SearchStatistics.COUNTER_FIELDS
+
+#: Every temporal semantics the cross-tier semantics gate covers.
+SEMANTICS = (
+    ("no-wait", NO_WAIT),
+    ("wait-tolerant", WaitTolerant()),
+    ("latest-departure", LatestDeparture()),
+    ("time-window(600s)", TimeWindow(window_seconds=600.0)),
+)
 
 
 def build_workload():
@@ -276,6 +297,38 @@ def check_cache(report: GateReport, itgraph, queries, repetitions, min_speedup) 
     )
 
 
+def check_semantics(report: GateReport, itgraph, queries) -> None:
+    """Reference vs compiled vs batch under every temporal semantics, with
+    strict statistics comparison — the pluggable-kernel cross-tier gate."""
+    reference = ITSPQEngine(itgraph, compiled=False)
+    compiled_engine = ITSPQEngine(itgraph, compiled=True)
+    for name, semantics in SEMANTICS:
+        tagged = [query.with_semantics(semantics) for query in queries]
+        ref_results = [reference.run(query) for query in tagged]
+        cmp_results = [compiled_engine.run(query) for query in tagged]
+        batch_results = compiled_engine.run_batch(tagged)
+        disagreements = 0
+        for ref, cmp, bat in zip(ref_results, cmp_results, batch_results):
+            for other in (cmp, bat):
+                if (
+                    ref.found != other.found
+                    or ref.length != other.length
+                    or any(
+                        getattr(ref.statistics, key) != getattr(other.statistics, key)
+                        for key in _STAT_KEYS
+                    )
+                ):
+                    disagreements += 1
+        found = sum(1 for ref in ref_results if ref.found)
+        report.record(
+            f"{name} cross-tier agreement",
+            disagreements == 0,
+            f"{disagreements} disagreements on {len(tagged)} queries "
+            f"x 2 tiers ({found} routes found)",
+            "0 disagreements (incl. statistics)",
+        )
+
+
 def check_parallel(
     report: GateReport, compiled_engine, batch_queries, repetitions, workers, min_speedup
 ) -> None:
@@ -403,6 +456,13 @@ def main(argv=None) -> int:
             build_workload(),
             args.repetitions,
             args.min_cache_speedup,
+        )
+        run_gate(
+            report,
+            "semantics",
+            check_semantics,
+            itgraph,
+            build_workload(),
         )
         if args.workers > 1:
             run_gate(

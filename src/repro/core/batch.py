@@ -16,8 +16,9 @@ redundant work.  This module amortises it three ways:
     O(1) regardless of venue size.
 
 :class:`BatchPlanner`
-    Groups a workload by (source location, effective query time, TV-check
-    method, private-partition context).  Queries in one group provably share
+    Groups a workload by (anchor location, effective query time, TV-check
+    method, temporal semantics, private-partition context).  Queries in one
+    group provably share
     their entire door-level search trajectory; only the target legs differ.
     Time-independent methods (``static``) collapse all query times into one
     group; the ``query-time`` snapshot method groups by the global
@@ -52,7 +53,6 @@ from __future__ import annotations
 
 import time
 from array import array
-from bisect import bisect_right
 from heapq import heappop, heappush
 from math import hypot
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -62,6 +62,7 @@ from repro.core.cache import CacheConfig, SPTreeCache, TimeKeyResolver
 from repro.core.compiled import COMPILED_KINDS, CompiledITGraph
 from repro.core.path import IndoorPath, PathHop
 from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
+from repro.core.semantics import NO_WAIT, TemporalSemantics, derive_counters, make_edge_probe
 from repro.core.snapshot import CompiledSnapshotStore
 from repro.exceptions import QueryError, UnknownEntityError
 from repro.temporal.timeofday import TimeOfDay
@@ -170,10 +171,11 @@ class _Target(object):
 class BatchGroup:
     """One shared-trajectory unit of a batch plan.
 
-    All members share the source point, the TV-check method, the effective
-    query time (exactly for ITG/S and ITG/A, up to probe-equivalence for the
-    snapshot methods) and the private-partition context, so a single
-    multi-target search answers all of them.
+    All members share the anchor point (the query source, or the target
+    under latest-departure semantics), the TV-check method, the temporal
+    semantics, the effective query time (exactly for ITG/S and ITG/A, up to
+    probe-equivalence for the snapshot methods) and the private-partition
+    context, so a single multi-target search answers all of them.
     """
 
     __slots__ = (
@@ -186,6 +188,7 @@ class BatchGroup:
         "members",
         "sequence",
         "cache_key",
+        "semantics",
     )
 
     def __init__(
@@ -198,6 +201,7 @@ class BatchGroup:
         allowed_private,
         sequence=-1,
         cache_key=None,
+        semantics: TemporalSemantics = NO_WAIT,
     ):
         self.kind = kind
         self.method_label = method_label
@@ -214,8 +218,12 @@ class BatchGroup:
         self.sequence = sequence
         #: The planner's group key — also the address of this group's
         #: shortest-path tree in an :class:`~repro.core.cache.SPTreeCache`
-        #: (plain floats/ints, so it pickles with the group).
+        #: (plain floats/ints plus the frozen semantics value object, so it
+        #: pickles with the group).
         self.cache_key = cache_key
+        #: The temporal semantics every member runs under — part of the group
+        #: key, so it travels with pickled groups to parallel workers.
+        self.semantics = semantics
 
     @property
     def size(self) -> int:
@@ -269,29 +277,32 @@ class BatchPlanner:
         located: Dict[Tuple[float, float, int], int] = {}
         groups: Dict[tuple, BatchGroup] = {}
         for index, query in enumerate(queries):
+            semantics = query.semantics
+            semantics.validate_method(method_name)
+            # The search is rooted at the semantics' anchor (the source, or
+            # the target under latest-departure); the goal is relaxed like a
+            # target regardless of which query endpoint it is.
+            anchor, goal = semantics.search_endpoints(query)
             try:
-                point = query.source
-                point_key = (point.x, point.y, point.floor)
+                point_key = (anchor.x, anchor.y, anchor.floor)
                 source_pidx = located.get(point_key)
                 if source_pidx is None:
-                    source_pidx = located[point_key] = locate(point)
-                point = query.target
-                point_key = (point.x, point.y, point.floor)
+                    source_pidx = located[point_key] = locate(anchor)
+                point_key = (goal.x, goal.y, goal.floor)
                 target_pidx = located.get(point_key)
                 if target_pidx is None:
-                    target_pidx = located[point_key] = locate(point)
+                    target_pidx = located[point_key] = locate(goal)
             except UnknownEntityError as exc:
                 raise QueryError(f"query endpoint outside the indoor space: {exc}") from exc
             query_seconds = query.query_time.seconds
             time_key = self._time_keys.key(kind, query_seconds)
-            # Queries whose target partition is private widen the search's
+            # Queries whose goal partition is private widen the search's
             # allowed-private set, changing the shared trajectory; they may
             # only share a run with queries widening it identically.
             privacy_key = (
                 target_pidx if private[target_pidx] and target_pidx != source_pidx else -1
             )
-            source = query.source
-            key = (kind, source.x, source.y, source.floor, time_key, privacy_key)
+            key = (kind, anchor.x, anchor.y, anchor.floor, time_key, privacy_key, semantics)
             group = groups.get(key)
             if group is None:
                 allowed = (
@@ -302,12 +313,13 @@ class BatchPlanner:
                 group = BatchGroup(
                     kind,
                     method_label,
-                    source,
+                    anchor,
                     source_pidx,
                     query_seconds,
                     allowed,
                     len(groups),
                     cache_key=key,
+                    semantics=semantics,
                 )
                 groups[key] = group
             group.members.append((index, query, target_pidx))
@@ -425,7 +437,8 @@ class BatchExecutor:
         """Run one group's shared search; returns its members with results.
 
         This mirrors ``ITSPQEngine._search_compiled`` relaxation for
-        relaxation (same kind-specialised edge loops, same check-before-relax
+        relaxation (same probe kernel from
+        :func:`repro.core.semantics.make_edge_probe`, same check-before-relax
         order, same tie-breaking relative to every member's private search)
         with three changes: labels live in the generation-stamped arena,
         every member has its own target node relaxed from doors adjacent to
@@ -435,6 +448,7 @@ class BatchExecutor:
         graph = self._graph
         arena = self._arena
         kind = group.kind
+        semantics = group.semantics
         door_count = graph.door_count
         source_node = door_count
         members = group.members
@@ -450,7 +464,6 @@ class BatchExecutor:
         heappop_local = heappop
 
         adjacency = graph.adjacency
-        bounds = graph.ati_bounds
         door_x = graph.door_x
         door_y = graph.door_y
         door_floor = graph.door_floor
@@ -465,7 +478,7 @@ class BatchExecutor:
         targets: List[_Target] = []
         targets_by_pidx: Dict[int, List[_Target]] = {}
         for order, query, target_pidx in members:
-            point = query.target
+            point = semantics.search_endpoints(query)[1]
             record = _Target(
                 order,
                 query,
@@ -493,21 +506,22 @@ class BatchExecutor:
         partitions_expanded = 0
         private_pruned = 0
         temporally_pruned = 0
-        ati_probes = 0
-        snapshot_refreshes = 0
-        membership_checks = 0
         #: Members whose target entered the heap and is not yet settled; only
         #: these need per-push peak updates (the phase is short: a discovered
         #: target settles as soon as no closer door entry remains).
         hot: List[_Target] = []
 
-        interval_at = None
-        cur_start = cur_end = 0.0
-        cur_bits = b""
-        if kind == 1:
-            interval_at = self._store.interval_at
-            cur_start, cur_end, cur_bits = interval_at(rep_seconds)
-            snapshot_refreshes = 1
+        # The shared feasibility/pricing kernel — see make_edge_probe for the
+        # per-kind cost profile and for which probe counters are counted live
+        # (snapshotted per member below) versus derived from ``relaxations``.
+        probe, probe_counters = make_edge_probe(
+            semantics,
+            kind,
+            graph.ati_bounds,
+            rep_seconds,
+            speed,
+            interval_at=self._store.interval_at if kind == 1 else None,
+        )
 
         heap.append((0.0, 0, source_node))
         dist[source_node] = 0.0
@@ -551,9 +565,9 @@ class BatchExecutor:
                     partitions_expanded=partitions_expanded,
                     private_partitions_pruned=private_pruned,
                     temporally_pruned_doors=temporally_pruned,
-                    ati_probes=ati_probes,
-                    snapshot_refreshes=snapshot_refreshes,
-                    membership_checks=membership_checks,
+                    ati_probes=probe_counters[0],
+                    snapshot_refreshes=probe_counters[1],
+                    membership_checks=probe_counters[2],
                     peak_heap_size=record.peak,
                 )
                 record.result = QueryResult(
@@ -581,26 +595,8 @@ class BatchExecutor:
                         continue
                     leg = hypot(source_x - door_x[door_idx], source_y - door_y[door_idx])
                     relaxations += 1
-                    if kind == 0:
-                        open_now = bisect_right(bounds[door_idx], rep_seconds + leg / speed) & 1
-                    elif kind == 1:
-                        t_arr = rep_seconds + leg / speed
-                        if cur_start <= t_arr < cur_end:
-                            membership_checks += 1
-                            open_now = cur_bits[door_idx]
-                        elif t_arr >= cur_end:
-                            cur_start, cur_end, cur_bits = interval_at(t_arr)
-                            snapshot_refreshes += 1
-                            membership_checks += 1
-                            open_now = cur_bits[door_idx]
-                        else:
-                            ati_probes += 1
-                            open_now = bisect_right(bounds[door_idx], t_arr) & 1
-                    elif kind == 2:
-                        open_now = 1
-                    else:
-                        open_now = bisect_right(bounds[door_idx], rep_seconds) & 1
-                    if not open_now:
+                    leg = probe(door_idx, leg)
+                    if leg is None:
                         temporally_pruned += 1
                         continue
                     if label_stamp[door_idx] != gen or leg < dist[door_idx]:
@@ -660,125 +656,41 @@ class BatchExecutor:
                                 )
                                 hot.append(record)
 
-                # Kind-specialised edge loops, mirroring the sequential
-                # engine's check-before-relax order exactly.
-                if kind == 0:
-                    for next_idx, leg in edges:
-                        if settled_stamp[next_idx] == gen:
-                            continue
-                        candidate = door_distance + leg
-                        relaxations += 1
-                        if not bisect_right(bounds[next_idx], rep_seconds + candidate / speed) & 1:
-                            temporally_pruned += 1
-                            continue
-                        if label_stamp[next_idx] != gen or candidate < dist[next_idx]:
-                            dist[next_idx] = candidate
-                            label_stamp[next_idx] = gen
-                            prev_node[next_idx] = node
-                            prev_part[next_idx] = partition_idx
-                            heappush_local(heap, (candidate, tie, next_idx))
-                            tie += 1
-                            shared_pushes += 1
-                            occupancy += 1
-                            if occupancy > prefix_peak:
-                                prefix_peak = occupancy
-                            for record in hot:
-                                peak = occupancy + record.t_count
-                                if peak > record.peak:
-                                    record.peak = peak
-                elif kind == 1:
-                    for next_idx, leg in edges:
-                        if settled_stamp[next_idx] == gen:
-                            continue
-                        candidate = door_distance + leg
-                        relaxations += 1
-                        t_arr = rep_seconds + candidate / speed
-                        if cur_start <= t_arr < cur_end:
-                            membership_checks += 1
-                            open_now = cur_bits[next_idx]
-                        elif t_arr >= cur_end:
-                            cur_start, cur_end, cur_bits = interval_at(t_arr)
-                            snapshot_refreshes += 1
-                            membership_checks += 1
-                            open_now = cur_bits[next_idx]
-                        else:
-                            ati_probes += 1
-                            open_now = bisect_right(bounds[next_idx], t_arr) & 1
-                        if not open_now:
-                            temporally_pruned += 1
-                            continue
-                        if label_stamp[next_idx] != gen or candidate < dist[next_idx]:
-                            dist[next_idx] = candidate
-                            label_stamp[next_idx] = gen
-                            prev_node[next_idx] = node
-                            prev_part[next_idx] = partition_idx
-                            heappush_local(heap, (candidate, tie, next_idx))
-                            tie += 1
-                            shared_pushes += 1
-                            occupancy += 1
-                            if occupancy > prefix_peak:
-                                prefix_peak = occupancy
-                            for record in hot:
-                                peak = occupancy + record.t_count
-                                if peak > record.peak:
-                                    record.peak = peak
-                elif kind == 2:
-                    for next_idx, leg in edges:
-                        if settled_stamp[next_idx] == gen:
-                            continue
-                        candidate = door_distance + leg
-                        relaxations += 1
-                        if label_stamp[next_idx] != gen or candidate < dist[next_idx]:
-                            dist[next_idx] = candidate
-                            label_stamp[next_idx] = gen
-                            prev_node[next_idx] = node
-                            prev_part[next_idx] = partition_idx
-                            heappush_local(heap, (candidate, tie, next_idx))
-                            tie += 1
-                            shared_pushes += 1
-                            occupancy += 1
-                            if occupancy > prefix_peak:
-                                prefix_peak = occupancy
-                            for record in hot:
-                                peak = occupancy + record.t_count
-                                if peak > record.peak:
-                                    record.peak = peak
-                else:
-                    for next_idx, leg in edges:
-                        if settled_stamp[next_idx] == gen:
-                            continue
-                        candidate = door_distance + leg
-                        relaxations += 1
-                        if not bisect_right(bounds[next_idx], rep_seconds) & 1:
-                            temporally_pruned += 1
-                            continue
-                        if label_stamp[next_idx] != gen or candidate < dist[next_idx]:
-                            dist[next_idx] = candidate
-                            label_stamp[next_idx] = gen
-                            prev_node[next_idx] = node
-                            prev_part[next_idx] = partition_idx
-                            heappush_local(heap, (candidate, tie, next_idx))
-                            tie += 1
-                            shared_pushes += 1
-                            occupancy += 1
-                            if occupancy > prefix_peak:
-                                prefix_peak = occupancy
-                            for record in hot:
-                                peak = occupancy + record.t_count
-                                if peak > record.peak:
-                                    record.peak = peak
+                # One probe-kernel edge loop for every semantics and method,
+                # mirroring the sequential engine's check-before-relax order.
+                for next_idx, leg in edges:
+                    if settled_stamp[next_idx] == gen:
+                        continue
+                    candidate = door_distance + leg
+                    relaxations += 1
+                    candidate = probe(next_idx, candidate)
+                    if candidate is None:
+                        temporally_pruned += 1
+                        continue
+                    if label_stamp[next_idx] != gen or candidate < dist[next_idx]:
+                        dist[next_idx] = candidate
+                        label_stamp[next_idx] = gen
+                        prev_node[next_idx] = node
+                        prev_part[next_idx] = partition_idx
+                        heappush_local(heap, (candidate, tie, next_idx))
+                        tie += 1
+                        shared_pushes += 1
+                        occupancy += 1
+                        if occupancy > prefix_peak:
+                            prefix_peak = occupancy
+                        for record in hot:
+                            peak = occupancy + record.t_count
+                            if peak > record.peak:
+                                record.peak = peak
 
         # -- finalisation ---------------------------------------------------
-        # The non-async per-probe counters are exact functions of the
-        # relaxation count (see ITSPQEngine._search_compiled); patch them into
-        # each member's snapshot the same way the sequential engine does.
+        # Probe counters that are exact functions of the relaxation count are
+        # patched into each member's snapshot (see derive_counters) the same
+        # way the sequential engine does; every result then runs through the
+        # semantics' finalise hook (a no-op for forward semantics).
         for record in targets:
             if record.settled:
-                stats = record.result.statistics
-                if kind == 0 or kind == 3:
-                    stats.ati_probes = stats.relaxations
-                elif kind == 2:
-                    stats.membership_checks = stats.relaxations
+                derive_counters(semantics, kind, record.result.statistics)
                 record.result.path = self._reconstruct(record, gen, source_node)
             else:
                 # Heap exhausted: no valid route for this member.  Its private
@@ -791,11 +703,12 @@ class BatchExecutor:
                     partitions_expanded=partitions_expanded,
                     private_partitions_pruned=private_pruned,
                     temporally_pruned_doors=temporally_pruned,
-                    ati_probes=relaxations if kind in (0, 3) else ati_probes,
-                    snapshot_refreshes=snapshot_refreshes,
-                    membership_checks=relaxations if kind == 2 else membership_checks,
+                    ati_probes=probe_counters[0],
+                    snapshot_refreshes=probe_counters[1],
+                    membership_checks=probe_counters[2],
                     peak_heap_size=prefix_peak,
                 )
+                derive_counters(semantics, kind, stats)
                 record.result = QueryResult(
                     query=record.query,
                     method_label=group.method_label,
@@ -804,6 +717,7 @@ class BatchExecutor:
                     length=_INFINITY,
                     statistics=stats,
                 )
+            record.result = semantics.finalise_result(record.result, speed)
         return targets
 
     def _reconstruct(self, record: _Target, gen: int, source_node: int) -> IndoorPath:
@@ -820,6 +734,9 @@ class BatchExecutor:
         prev_part = arena.prev_part
         door_ids = graph.door_ids
         partition_ids = graph.partition_ids
+        semantics = record.query.semantics
+        anchor_point, goal_point = semantics.search_endpoints(record.query)
+        forward = semantics.forward
         query_seconds = record.query_seconds
         speed = self._speed
         from_seconds = TimeOfDay._from_seconds_unchecked
@@ -836,7 +753,8 @@ class BatchExecutor:
             if node == record.tnode:
                 break
             next_via = chain[index + 1][1]
-            arrival = from_seconds(query_seconds + dist[node] / speed)
+            offset = dist[node] / speed
+            arrival = from_seconds(query_seconds + offset if forward else query_seconds - offset)
             hops.append(
                 PathHop(
                     door_ids[node],
@@ -848,8 +766,8 @@ class BatchExecutor:
             )
 
         return IndoorPath(
-            source=record.query.source,
-            target=record.query.target,
+            source=anchor_point,
+            target=goal_point,
             query_time=record.query.query_time,
             hops=hops,
             total_length=dist[record.tnode],

@@ -11,8 +11,9 @@ so far — compiled, batch, parallel — re-runs Dijkstra from scratch for each
 
 :class:`SPTreeCache` closes that gap.  It memoises **recorded shortest-path
 trees**: one zero-target, full-exhaustion run of the compiled Dijkstra per
-``(method kind, source point, effective-time key, privacy context)`` — the
-same key the :class:`~repro.core.batch.BatchPlanner` groups by — storing the
+``(method kind, anchor point, effective-time key, privacy context, temporal
+semantics)`` — the same key the :class:`~repro.core.batch.BatchPlanner`
+groups by — storing the
 final label arrays *plus* a compact event log of the run (pop order, push
 counter, cumulative statistics, heap-occupancy trajectory and the per-door
 "target relax opportunity" rows).  A repeat query is then answered without
@@ -74,6 +75,7 @@ from repro.constants import WALKING_SPEED_MPS
 from repro.core.compiled import CompiledITGraph
 from repro.core.path import IndoorPath, PathHop
 from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
+from repro.core.semantics import NO_WAIT, TemporalSemantics, derive_counters, make_edge_probe
 from repro.core.snapshot import CompiledSnapshotStore
 from repro.temporal.timeofday import TimeOfDay
 
@@ -222,6 +224,7 @@ class CachedTree:
     __slots__ = (
         "kind",
         "method_label",
+        "semantics",
         "source_pidx",
         "source_x",
         "source_y",
@@ -294,11 +297,19 @@ class SPTreeCache:
     # -- keys -----------------------------------------------------------------
 
     def plan_key(
-        self, kind: int, source, query_seconds: float, source_pidx: int, target_pidx: int
+        self,
+        kind: int,
+        source,
+        query_seconds: float,
+        source_pidx: int,
+        target_pidx: int,
+        semantics: TemporalSemantics = NO_WAIT,
     ) -> Tuple[tuple, frozenset]:
         """The batch planner's group key (and allowed-private set) for one
         located query — the cache's address space and the planner's are the
-        same by construction."""
+        same by construction.  ``source`` is the *anchor* of the search
+        (``semantics.search_endpoints``), so latest-departure trees are
+        addressed by the point the backward search grows from."""
         private = self._graph.partition_private
         privacy_key = (
             target_pidx if private[target_pidx] and target_pidx != source_pidx else -1
@@ -310,6 +321,7 @@ class SPTreeCache:
             source.floor,
             self.resolver.key(kind, query_seconds),
             privacy_key,
+            semantics,
         )
         allowed = (
             frozenset((source_pidx,))
@@ -405,10 +417,11 @@ class SPTreeCache:
         source_pidx: int,
         allowed_private,
         rep_seconds: float,
+        semantics: TemporalSemantics = NO_WAIT,
     ) -> CachedTree:
         """Record the zero-target run for ``key`` and cache the tree."""
         tree = self._record_tree(
-            kind, method_label, source, source_pidx, allowed_private, rep_seconds
+            kind, method_label, source, source_pidx, allowed_private, rep_seconds, semantics
         )
         self.store_tree(key, tree)
         self.trees_built += 1
@@ -424,20 +437,21 @@ class SPTreeCache:
             group.source_pidx,
             group.allowed_private,
             group.rep_seconds,
+            group.semantics,
         )
 
     def _record_tree(
-        self, kind, method_label, source, source_pidx, allowed_private, rep_seconds
+        self, kind, method_label, source, source_pidx, allowed_private, rep_seconds, semantics
     ) -> CachedTree:
         """The zero-target, full-exhaustion twin of the batch executor's
         shared search, with the event log recorded alongside.
 
         Mirrors ``BatchExecutor._run_group`` relaxation for relaxation (same
-        kind-specialised loops, same check-before-relax order, same
-        tie-breaking), which itself mirrors ``ITSPQEngine._search_compiled``:
-        with no target entries in the heap, the source/door event sequence is
-        the common supersequence every member query's private search is a
-        prefix of.
+        :func:`~repro.core.semantics.make_edge_probe` kernel, same
+        check-before-relax order, same tie-breaking), which itself mirrors
+        ``ITSPQEngine._search_compiled``: with no target entries in the heap,
+        the source/door event sequence is the common supersequence every
+        member query's private search is a prefix of.
         """
         graph = self._graph
         door_count = graph.door_count
@@ -450,7 +464,6 @@ class SPTreeCache:
         settled = bytearray(node_count)
 
         adjacency = graph.adjacency
-        bounds = graph.ati_bounds
         door_x = graph.door_x
         door_y = graph.door_y
         door_floor = graph.door_floor
@@ -482,20 +495,21 @@ class SPTreeCache:
         partitions_expanded = 0
         private_pruned = 0
         temporally_pruned = 0
-        ati_probes = 0
-        snapshot_refreshes = 0
-        membership_checks = 0
         pushes = 1
         occupancy = 1
         peak = 1
 
-        interval_at = None
-        cur_start = cur_end = 0.0
-        cur_bits = b""
-        if kind == 1:
-            interval_at = self._store.interval_at
-            cur_start, cur_end, cur_bits = interval_at(rep_seconds)
-            snapshot_refreshes = 1
+        # Feasibility/pricing per the tree's semantics and TV-check kind —
+        # the identical closure the engines and the batch executor run, so
+        # the recorded trajectory is theirs float for float.
+        probe, probe_counters = make_edge_probe(
+            semantics,
+            kind,
+            graph.ati_bounds,
+            rep_seconds,
+            speed,
+            interval_at=self._store.interval_at if kind == 1 else None,
+        )
 
         heap: List[Tuple[float, int, int]] = [(0.0, 0, source_node)]
         dist[source_node] = 0.0
@@ -515,9 +529,9 @@ class SPTreeCache:
                 cum_parts.append(partitions_expanded)
                 cum_private.append(private_pruned)
                 cum_tpruned.append(temporally_pruned)
-                cum_ati.append(ati_probes)
-                cum_refresh.append(snapshot_refreshes)
-                cum_member.append(membership_checks)
+                cum_ati.append(probe_counters[0])
+                cum_refresh.append(probe_counters[1])
+                cum_member.append(probe_counters[2])
                 continue
             settled[node] = 1
 
@@ -528,26 +542,8 @@ class SPTreeCache:
                         continue
                     leg = hypot(source_x - door_x[door_idx], source_y - door_y[door_idx])
                     relaxations += 1
-                    if kind == 0:
-                        open_now = bisect_right(bounds[door_idx], rep_seconds + leg / speed) & 1
-                    elif kind == 1:
-                        t_arr = rep_seconds + leg / speed
-                        if cur_start <= t_arr < cur_end:
-                            membership_checks += 1
-                            open_now = cur_bits[door_idx]
-                        elif t_arr >= cur_end:
-                            cur_start, cur_end, cur_bits = interval_at(t_arr)
-                            snapshot_refreshes += 1
-                            membership_checks += 1
-                            open_now = cur_bits[door_idx]
-                        else:
-                            ati_probes += 1
-                            open_now = bisect_right(bounds[door_idx], t_arr) & 1
-                    elif kind == 2:
-                        open_now = 1
-                    else:
-                        open_now = bisect_right(bounds[door_idx], rep_seconds) & 1
-                    if not open_now:
+                    leg = probe(door_idx, leg)
+                    if leg is None:
                         temporally_pruned += 1
                         continue
                     if leg < dist[door_idx]:
@@ -579,102 +575,27 @@ class SPTreeCache:
                         rows = rows_by_partition[partition_idx] = []
                     rows.append((node, door_distance, pushes, occupancy))
 
-                    if kind == 0:
-                        for next_idx, leg in edges:
-                            if settled[next_idx]:
-                                continue
-                            candidate = door_distance + leg
-                            relaxations += 1
-                            if (
-                                not bisect_right(bounds[next_idx], rep_seconds + candidate / speed)
-                                & 1
-                            ):
-                                temporally_pruned += 1
-                                continue
-                            if candidate < dist[next_idx]:
-                                dist[next_idx] = candidate
-                                prev_node[next_idx] = node
-                                prev_part[next_idx] = partition_idx
-                                heappush_local(heap, (candidate, tie, next_idx))
-                                tie += 1
-                                pushes += 1
-                                occupancy += 1
-                                if occupancy > peak:
-                                    peak = occupancy
-                                occ_after.append(occupancy)
-                                prefix_peak.append(peak)
-                    elif kind == 1:
-                        for next_idx, leg in edges:
-                            if settled[next_idx]:
-                                continue
-                            candidate = door_distance + leg
-                            relaxations += 1
-                            t_arr = rep_seconds + candidate / speed
-                            if cur_start <= t_arr < cur_end:
-                                membership_checks += 1
-                                open_now = cur_bits[next_idx]
-                            elif t_arr >= cur_end:
-                                cur_start, cur_end, cur_bits = interval_at(t_arr)
-                                snapshot_refreshes += 1
-                                membership_checks += 1
-                                open_now = cur_bits[next_idx]
-                            else:
-                                ati_probes += 1
-                                open_now = bisect_right(bounds[next_idx], t_arr) & 1
-                            if not open_now:
-                                temporally_pruned += 1
-                                continue
-                            if candidate < dist[next_idx]:
-                                dist[next_idx] = candidate
-                                prev_node[next_idx] = node
-                                prev_part[next_idx] = partition_idx
-                                heappush_local(heap, (candidate, tie, next_idx))
-                                tie += 1
-                                pushes += 1
-                                occupancy += 1
-                                if occupancy > peak:
-                                    peak = occupancy
-                                occ_after.append(occupancy)
-                                prefix_peak.append(peak)
-                    elif kind == 2:
-                        for next_idx, leg in edges:
-                            if settled[next_idx]:
-                                continue
-                            candidate = door_distance + leg
-                            relaxations += 1
-                            if candidate < dist[next_idx]:
-                                dist[next_idx] = candidate
-                                prev_node[next_idx] = node
-                                prev_part[next_idx] = partition_idx
-                                heappush_local(heap, (candidate, tie, next_idx))
-                                tie += 1
-                                pushes += 1
-                                occupancy += 1
-                                if occupancy > peak:
-                                    peak = occupancy
-                                occ_after.append(occupancy)
-                                prefix_peak.append(peak)
-                    else:
-                        for next_idx, leg in edges:
-                            if settled[next_idx]:
-                                continue
-                            candidate = door_distance + leg
-                            relaxations += 1
-                            if not bisect_right(bounds[next_idx], rep_seconds) & 1:
-                                temporally_pruned += 1
-                                continue
-                            if candidate < dist[next_idx]:
-                                dist[next_idx] = candidate
-                                prev_node[next_idx] = node
-                                prev_part[next_idx] = partition_idx
-                                heappush_local(heap, (candidate, tie, next_idx))
-                                tie += 1
-                                pushes += 1
-                                occupancy += 1
-                                if occupancy > peak:
-                                    peak = occupancy
-                                occ_after.append(occupancy)
-                                prefix_peak.append(peak)
+                    for next_idx, leg in edges:
+                        if settled[next_idx]:
+                            continue
+                        candidate = door_distance + leg
+                        relaxations += 1
+                        candidate = probe(next_idx, candidate)
+                        if candidate is None:
+                            temporally_pruned += 1
+                            continue
+                        if candidate < dist[next_idx]:
+                            dist[next_idx] = candidate
+                            prev_node[next_idx] = node
+                            prev_part[next_idx] = partition_idx
+                            heappush_local(heap, (candidate, tie, next_idx))
+                            tie += 1
+                            pushes += 1
+                            occupancy += 1
+                            if occupancy > peak:
+                                peak = occupancy
+                            occ_after.append(occupancy)
+                            prefix_peak.append(peak)
 
             cum_settled.append(doors_settled)
             cum_relax.append(relaxations)
@@ -682,9 +603,9 @@ class SPTreeCache:
             cum_parts.append(partitions_expanded)
             cum_private.append(private_pruned)
             cum_tpruned.append(temporally_pruned)
-            cum_ati.append(ati_probes)
-            cum_refresh.append(snapshot_refreshes)
-            cum_member.append(membership_checks)
+            cum_ati.append(probe_counters[0])
+            cum_refresh.append(probe_counters[1])
+            cum_member.append(probe_counters[2])
 
         # -- block-max index over the occupancy trajectory -------------------
         block_max = array("l")
@@ -694,6 +615,7 @@ class SPTreeCache:
         tree = CachedTree()
         tree.kind = kind
         tree.method_label = method_label
+        tree.semantics = semantics
         tree.source_pidx = source_pidx
         tree.source_x = source_x
         tree.source_y = source_y
@@ -729,11 +651,14 @@ class SPTreeCache:
     def answer(self, tree: CachedTree, query: ITSPQuery, target_pidx: int) -> QueryResult:
         """Answer one member query from a recorded tree — O(path length +
         rows until settle), no Dijkstra, bit-identical result and statistics
-        (``runtime_seconds`` is the caller's to fill in)."""
+        (``runtime_seconds`` is the caller's to fill in).  ``target_pidx`` is
+        the partition of the search *goal* — under latest-departure semantics
+        that is the query's source, matching the tree's backward anchor."""
         graph = self._graph
         kind = tree.kind
-        target = query.target
-        tx, ty, tfloor = target.x, target.y, target.floor
+        semantics = tree.semantics
+        goal_point = semantics.search_endpoints(query)[1]
+        tx, ty, tfloor = goal_point.x, goal_point.y, goal_point.floor
 
         # -- replay the member's target pushes from the opportunity rows -----
         best = _INFINITY
@@ -772,27 +697,30 @@ class SPTreeCache:
             # The member's target never enters the heap: its private search
             # runs the identical full trajectory and exhausts the heap.
             last = tree.total_events - 1
-            relax = tree.cum_relax[last]
             stats = SearchStatistics(
                 doors_settled=tree.cum_settled[last],
-                relaxations=relax,
+                relaxations=tree.cum_relax[last],
                 heap_pushes=tree.total_pushes,
                 heap_pops=tree.total_events,
                 partitions_expanded=tree.cum_parts[last],
                 private_partitions_pruned=tree.cum_private[last],
                 temporally_pruned_doors=tree.cum_tpruned[last],
-                ati_probes=relax if kind == 0 or kind == 3 else tree.cum_ati[last],
+                ati_probes=tree.cum_ati[last],
                 snapshot_refreshes=tree.cum_refresh[last],
-                membership_checks=relax if kind == 2 else tree.cum_member[last],
+                membership_checks=tree.cum_member[last],
                 peak_heap_size=tree.prefix_peak[tree.total_pushes - 1],
             )
-            return QueryResult(
-                query=query,
-                method_label=tree.method_label,
-                found=False,
-                path=None,
-                length=_INFINITY,
-                statistics=stats,
+            derive_counters(semantics, kind, stats)
+            return semantics.finalise_result(
+                QueryResult(
+                    query=query,
+                    method_label=tree.method_label,
+                    found=False,
+                    path=None,
+                    length=_INFINITY,
+                    statistics=stats,
+                ),
+                self._speed,
             )
 
         # -- settle position: binary search over the sorted event log --------
@@ -845,36 +773,44 @@ class SPTreeCache:
             if candidate_peak > peak:
                 peak = candidate_peak
 
-        relax = tree.cum_relax[last]
         stats = SearchStatistics(
             doors_settled=tree.cum_settled[last],
-            relaxations=relax,
+            relaxations=tree.cum_relax[last],
             heap_pushes=shared_pushes + t_count,
             heap_pops=settle + 1,
             partitions_expanded=tree.cum_parts[last],
             private_partitions_pruned=tree.cum_private[last],
             temporally_pruned_doors=tree.cum_tpruned[last],
-            ati_probes=relax if kind == 0 or kind == 3 else tree.cum_ati[last],
+            ati_probes=tree.cum_ati[last],
             snapshot_refreshes=tree.cum_refresh[last],
-            membership_checks=relax if kind == 2 else tree.cum_member[last],
+            membership_checks=tree.cum_member[last],
             peak_heap_size=peak,
         )
+        derive_counters(semantics, kind, stats)
 
-        return QueryResult(
-            query=query,
-            method_label=tree.method_label,
-            found=True,
-            path=self._reconstruct(tree, query, win_node, win_part, best),
-            length=best,
-            statistics=stats,
+        return semantics.finalise_result(
+            QueryResult(
+                query=query,
+                method_label=tree.method_label,
+                found=True,
+                path=self._reconstruct(tree, query, win_node, win_part, best),
+                length=best,
+                statistics=stats,
+            ),
+            self._speed,
         )
 
     def _reconstruct(
         self, tree: CachedTree, query: ITSPQuery, win_node: int, win_part: int, length: float
     ) -> IndoorPath:
         """Predecessor-chain walk, arrival times stamped with the member's
-        own query second (the same floats the engines produce)."""
+        own query second (the same floats the engines produce).  The path is
+        anchor-rooted, exactly like the engines' raw reconstruction —
+        ``semantics.finalise_result`` re-orients it afterwards."""
         graph = self._graph
+        semantics = tree.semantics
+        anchor_point, goal_point = semantics.search_endpoints(query)
+        forward = semantics.forward
         source_node = graph.door_count
         hops: List[PathHop] = []
         if win_node != source_node:
@@ -896,7 +832,8 @@ class SPTreeCache:
             last_index = len(chain) - 1
             for index, (node, via_partition) in enumerate(chain):
                 next_via = chain[index + 1][1] if index < last_index else win_part
-                arrival = from_seconds(query_seconds + dist[node] / speed)
+                offset = dist[node] / speed
+                arrival = from_seconds(query_seconds + offset if forward else query_seconds - offset)
                 hops.append(
                     PathHop(
                         door_ids[node],
@@ -908,8 +845,8 @@ class SPTreeCache:
                 )
 
         return IndoorPath(
-            source=query.source,
-            target=query.target,
+            source=anchor_point,
+            target=goal_point,
             query_time=query.query_time,
             hops=hops,
             total_length=length,

@@ -24,6 +24,15 @@ Two expansion modes are provided:
     slightly less work and returns identical answers on venues whose
     intra-partition distances obey the triangle inequality (all venues in
     this repository); the ablation benchmark quantifies the difference.
+    Both the reference and the compiled search implement this mode, with
+    reference-vs-compiled parity enforced by the test suite; batch, parallel
+    and cached execution require the standard expansion.
+
+Temporal feasibility and edge pricing are delegated to the pluggable
+semantics layer in :mod:`repro.core.semantics` — both searches run the same
+``relax -> probe -> push`` kernel, so the paper's no-wait semantics and the
+wait-tolerant / latest-departure / time-window variants all execute through
+one code path per engine.
 """
 
 from __future__ import annotations
@@ -32,7 +41,6 @@ import enum
 import heapq
 import itertools
 import time
-from bisect import bisect_right
 from math import hypot
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -44,6 +52,12 @@ from repro.core.parallel import ExecutionReport, ParallelBatchExecutor, default_
 from repro.core.itgraph import ITGraph
 from repro.core.path import IndoorPath, PathHop
 from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
+from repro.core.semantics import (
+    NoWait,
+    derive_counters,
+    make_edge_probe,
+    make_reference_probe,
+)
 from repro.core.snapshot import CompiledSnapshotStore, GraphUpdater
 from repro.core.tvcheck import TVCheckStrategy, canonical_method, make_strategy
 from repro.exceptions import QueryError, UnknownEntityError
@@ -111,9 +125,10 @@ class ITSPQEngine:
         # The compiled fast path answers the four built-in methods over the
         # interned integer-indexed graph; ``compiled=False`` keeps the
         # object-level reference search, which parity tests and custom
-        # strategies rely on.  ``partition_once`` always uses the reference
-        # search (it is the literal-Algorithm-1 study mode, not a hot path).
-        self._compiled_enabled = compiled and not partition_once
+        # strategies rely on.  ``partition_once`` (the literal-Algorithm-1
+        # study mode) runs on either engine; batch/parallel/cached execution
+        # requires the standard expansion.
+        self._compiled_enabled = bool(compiled)
         # ``cache`` opts into the interval-keyed shortest-path-tree cache on
         # the compiled path: ``True`` enables the defaults, a CacheConfig
         # tunes capacity/admission/precompute, ``None``/``False`` keeps every
@@ -127,6 +142,10 @@ class ITSPQEngine:
             self._cache_config = cache
         else:
             raise TypeError(f"cache must be a CacheConfig or boolean, got {cache!r}")
+        if self._cache_config is not None and partition_once:
+            # Cached trees record the standard expansion; replaying them
+            # under the literal-Algorithm-1 pruning would not be parity.
+            raise QueryError("the SP-tree cache requires the standard expansion (partition_once=False)")
         self._cache: Optional[SPTreeCache] = None
         self._compiled_graph: Optional[CompiledITGraph] = None
         self._compiled_store: Optional[CompiledSnapshotStore] = None
@@ -229,9 +248,15 @@ class ITSPQEngine:
         return bit-identical results to the reference search; an explicit
         ``strategy`` always runs the reference search, since arbitrary
         strategies cannot be lowered.
+
+        The query's :attr:`~repro.core.query.ITSPQuery.semantics` selects the
+        temporal semantics; the non-default semantics require the synchronous
+        method and run on both engines through the shared probe kernel.
         """
+        semantics = itsp_query.semantics
         if strategy is None:
             method_name = canonical_method(_normalise_method(method))
+            semantics.validate_method(method_name)
             if self._compiled_enabled:
                 self.ensure_compiled()
                 started = time.perf_counter()
@@ -242,7 +267,12 @@ class ITSPQEngine:
                     result = self._search_compiled(itsp_query, method_name)
                 result.statistics.runtime_seconds = time.perf_counter() - started
                 return result
-            strategy = make_strategy(method_name, self._itgraph, self._updater, self._walking_speed)
+            if isinstance(semantics, NoWait):
+                strategy = make_strategy(
+                    method_name, self._itgraph, self._updater, self._walking_speed
+                )
+        elif not isinstance(semantics, NoWait):
+            raise QueryError("explicit TV-check strategies answer only the no-wait semantics")
         started = time.perf_counter()
         result = self._search(itsp_query, strategy)
         result.statistics.runtime_seconds = time.perf_counter() - started
@@ -288,27 +318,33 @@ class ITSPQEngine:
         the fresh compiled search (key not admitted yet)."""
         cache = self._cache
         graph = self._compiled_graph
+        semantics = itsp_query.semantics
         kind, method_label = COMPILED_KINDS[method_name]
+        anchor_point, goal_point = semantics.search_endpoints(itsp_query)
         try:
-            source_pidx = graph.locate_index(itsp_query.source)
-            target_pidx = graph.locate_index(itsp_query.target)
+            source_pidx = graph.locate_index(anchor_point)
+            target_pidx = graph.locate_index(goal_point)
         except UnknownEntityError as exc:
             raise QueryError(f"query endpoint outside the indoor space: {exc}") from exc
         query_seconds = itsp_query.query_time.seconds
-        pruned = cache.prune_result(
-            itsp_query, method_label, kind, source_pidx, target_pidx, query_seconds
-        )
-        if pruned is not None:
-            return pruned
+        if isinstance(semantics, NoWait):
+            # The overlay-based unreachability pruning is proven only for the
+            # paper's semantics (waiting can cross a component boundary in
+            # time), so the other semantics always consult a tree.
+            pruned = cache.prune_result(
+                itsp_query, method_label, kind, source_pidx, target_pidx, query_seconds
+            )
+            if pruned is not None:
+                return pruned
         key, allowed = cache.plan_key(
-            kind, itsp_query.source, query_seconds, source_pidx, target_pidx
+            kind, anchor_point, query_seconds, source_pidx, target_pidx, semantics
         )
         tree = cache.lookup(key)
         if tree is None:
             if not cache.should_build(key):
                 return None
             tree = cache.build(
-                key, kind, method_label, itsp_query.source, source_pidx, allowed, query_seconds
+                key, kind, method_label, anchor_point, source_pidx, allowed, query_seconds, semantics
             )
         return cache.answer(tree, itsp_query, target_pidx)
 
@@ -321,6 +357,8 @@ class ITSPQEngine:
         """
         if not self._compiled_enabled:
             raise QueryError("batch execution requires the compiled fast path")
+        if self._partition_once:
+            raise QueryError("batch execution requires the standard expansion (partition_once=False)")
         self.ensure_compiled()
         if self._batch_executor is None:
             self._batch_executor = BatchExecutor(
@@ -349,6 +387,10 @@ class ITSPQEngine:
         """
         if not self._compiled_enabled:
             raise QueryError("parallel batch execution requires the compiled fast path")
+        if self._partition_once:
+            raise QueryError(
+                "parallel batch execution requires the standard expansion (partition_once=False)"
+            )
         self.ensure_compiled()
         count = int(workers) if workers is not None else default_worker_count()
         if count < 1:
@@ -440,6 +482,12 @@ class ITSPQEngine:
             # to the in-process paths below.
         started_call = time.perf_counter()
         if self._compiled_enabled:
+            if batch and self._partition_once:
+                # The multi-target batch search shares one expansion across
+                # members, which is incompatible with the literal-Algorithm-1
+                # per-query partition pruning: run the study mode one compiled
+                # search per query instead.
+                batch = False
             if batch:
                 batch_executor = self.batch_executor()
                 results = batch_executor.run_batch(queries, method_name)
@@ -455,6 +503,7 @@ class ITSPQEngine:
             self.ensure_compiled()
             results = []
             for query in queries:
+                query.semantics.validate_method(method_name)
                 started = time.perf_counter()
                 result = self._search_compiled(query, method_name)
                 result.statistics.runtime_seconds = time.perf_counter() - started
@@ -462,13 +511,18 @@ class ITSPQEngine:
         else:
             # Reference engine: one strategy instance, reset per query by
             # ``begin_query`` — identical results to per-query construction.
+            # Non-default semantics run the probe-kernel path instead.
             strategy = make_strategy(
                 method_name, self._itgraph, self._updater, self._walking_speed
             )
             results = []
             for query in queries:
                 started = time.perf_counter()
-                result = self._search(query, strategy)
+                if isinstance(query.semantics, NoWait):
+                    result = self._search(query, strategy)
+                else:
+                    query.semantics.validate_method(method_name)
+                    result = self._search(query, None)
                 result.statistics.runtime_seconds = time.perf_counter() - started
                 results.append(result)
         self._last_execution_report = ExecutionReport(
@@ -483,15 +537,17 @@ class ITSPQEngine:
 
     # -- the search (Algorithm 1) ----------------------------------------------------------
 
-    def _search(self, itsp_query: ITSPQuery, strategy: TVCheckStrategy) -> QueryResult:
+    def _search(self, itsp_query: ITSPQuery, strategy: Optional[TVCheckStrategy]) -> QueryResult:
         itgraph = self._itgraph
         topology = itgraph.topology
         query_time = itsp_query.query_time
+        semantics = itsp_query.semantics
+        anchor_point, goal_point = semantics.search_endpoints(itsp_query)
         stats = SearchStatistics()
 
         try:
-            source_partition = itgraph.covering_partition(itsp_query.source)
-            target_partition = itgraph.covering_partition(itsp_query.target)
+            source_partition = itgraph.covering_partition(anchor_point)
+            target_partition = itgraph.covering_partition(goal_point)
         except UnknownEntityError as exc:
             raise QueryError(f"query endpoint outside the indoor space: {exc}") from exc
 
@@ -499,7 +555,32 @@ class ITSPQEngine:
         target_pid = target_partition.partition_id
         allowed_private = {source_pid, target_pid}
 
-        strategy.begin_query(query_time)
+        if strategy is not None:
+            # No-wait queries keep the pluggable TV-check strategies (the
+            # reusable standalone API, including custom strategies); the
+            # probe wrapper gives them the same kernel shape as every other
+            # semantics without changing a single float or counter.
+            strategy.begin_query(query_time)
+            method_label = strategy.method_label
+
+            def probe(door_id: str, cost: float) -> Optional[float]:
+                return cost if strategy.is_passable(door_id, cost, query_time) else None
+
+            probe_counters = None
+        else:
+            method_label = COMPILED_KINDS["synchronous"][1]
+            probe, probe_counters = make_reference_probe(
+                semantics, itgraph, query_time.seconds, self._walking_speed
+            )
+
+        def finish(result: QueryResult) -> QueryResult:
+            if probe_counters is None:
+                stats.merge_strategy_counters(strategy.counters())
+            else:
+                stats.ati_probes += probe_counters[0]
+                stats.snapshot_refreshes += probe_counters[1]
+                stats.membership_checks += probe_counters[2]
+            return semantics.finalise_result(result, self._walking_speed)
 
         dist: Dict[str, float] = {SOURCE_NODE: 0.0}
         prev: Dict[str, Tuple[str, str]] = {}
@@ -521,8 +602,8 @@ class ITSPQEngine:
                 stats.peak_heap_size = max(stats.peak_heap_size, len(heap))
 
         # A door-free direct path when both endpoints share a partition.
-        if source_pid == target_pid and itsp_query.source.floor == itsp_query.target.floor:
-            direct = itsp_query.source.point2d.distance_to(itsp_query.target.point2d)
+        if source_pid == target_pid and anchor_point.floor == goal_point.floor:
+            direct = anchor_point.point2d.distance_to(goal_point.point2d)
             relax(TARGET_NODE, direct, SOURCE_NODE, source_pid)
 
         while heap:
@@ -533,33 +614,32 @@ class ITSPQEngine:
             settled.add(node)
 
             if node == TARGET_NODE:
-                path = self._reconstruct(itsp_query, dist, prev, strategy.method_label)
-                stats.merge_strategy_counters(strategy.counters())
-                return QueryResult(
-                    query=itsp_query,
-                    method_label=strategy.method_label,
-                    found=True,
-                    path=path,
-                    length=distance,
-                    statistics=stats,
+                path = self._reconstruct(itsp_query, dist, prev, method_label)
+                return finish(
+                    QueryResult(
+                        query=itsp_query,
+                        method_label=method_label,
+                        found=True,
+                        path=path,
+                        length=distance,
+                        statistics=stats,
+                    )
                 )
 
             if node == SOURCE_NODE:
-                self._expand_source(
-                    itsp_query, source_pid, target_pid, strategy, relax, stats
-                )
+                self._expand_source(anchor_point, source_pid, probe, relax, stats)
                 continue
 
             # ``node`` is a door with a settled (shortest) distance label.
             stats.doors_settled += 1
             door_distance = dist[node]
 
-            enterable = topology.enterable_partitions(node)
-            if self._partition_once:
-                enterable = frozenset(pid for pid in enterable if pid not in visited_partitions)
-
-            reached_target_partition = False
-            for partition_id in enterable:
+            for partition_id in topology.enterable_partitions(node):
+                # ``partition_once`` checks membership inline (instead of
+                # pre-filtering the frozenset) so the compiled search — whose
+                # adjacency preserves this iteration order — stays bit-parity.
+                if self._partition_once and partition_id in visited_partitions:
+                    continue
                 record = itgraph.partition_record(partition_id)
                 if record.is_outdoor:
                     continue
@@ -571,8 +651,7 @@ class ITSPQEngine:
                 stats.partitions_expanded += 1
 
                 if partition_id == target_pid:
-                    reached_target_partition = True
-                    final_leg = self._safe_point_to_door(itsp_query.target, node, partition_id)
+                    final_leg = self._safe_point_to_door(goal_point, node, partition_id)
                     if final_leg is not None:
                         relax(TARGET_NODE, door_distance + final_leg, node, partition_id)
                     if self._partition_once:
@@ -581,22 +660,20 @@ class ITSPQEngine:
                         continue
 
                 self._expand_partition(
-                    node, partition_id, door_distance, query_time, strategy, relax, settled, stats
+                    node, partition_id, door_distance, probe, relax, settled, stats
                 )
-
-            if self._partition_once and reached_target_partition:
-                continue
 
         # Heap exhausted without settling the target: no valid route exists
         # under the search semantics ("no such routes" in the paper).
-        stats.merge_strategy_counters(strategy.counters())
-        return QueryResult(
-            query=itsp_query,
-            method_label=strategy.method_label,
-            found=False,
-            path=None,
-            length=_INFINITY,
-            statistics=stats,
+        return finish(
+            QueryResult(
+                query=itsp_query,
+                method_label=method_label,
+                found=False,
+                path=None,
+                length=_INFINITY,
+                statistics=stats,
+            )
         )
 
     # -- the compiled search (integer-label fast path) ---------------------------------------
@@ -614,18 +691,20 @@ class ITSPQEngine:
         The hot loop touches only list-indexed floats and ints: no string
         dict probes, no ``frozenset`` views, no ``TimeOfDay`` allocations.
 
-        The four TV checks are inlined (rather than dispatched through the
-        :mod:`repro.core.compiled` check classes, which stay the reusable
-        standalone API) so that a relaxation costs one branch plus one
-        ``bisect``/bit test.  The check-before-relax ordering of Algorithm 1
-        is preserved in every branch.
+        Temporal feasibility/pricing is delegated to the probe closure from
+        :func:`repro.core.semantics.make_edge_probe` — the single source of
+        truth for the four TV-check methods and the non-default semantics —
+        so a relaxation costs one call plus one ``bisect``/bit test.  The
+        check-before-relax ordering of Algorithm 1 is preserved.
         """
         compiled_graph = self._compiled_graph
         stats = SearchStatistics()
+        semantics = itsp_query.semantics
+        anchor_point, goal_point = semantics.search_endpoints(itsp_query)
 
         try:
-            source_pidx = compiled_graph.locate_index(itsp_query.source)
-            target_pidx = compiled_graph.locate_index(itsp_query.target)
+            source_pidx = compiled_graph.locate_index(anchor_point)
+            target_pidx = compiled_graph.locate_index(goal_point)
         except UnknownEntityError as exc:
             raise QueryError(f"query endpoint outside the indoor space: {exc}") from exc
 
@@ -634,17 +713,16 @@ class ITSPQEngine:
 
         query_seconds = itsp_query.query_time.seconds
         speed = self._walking_speed
-        bounds = compiled_graph.ati_bounds
-        ati_probes = 0
-        snapshot_refreshes = 0
-        membership_checks = 0
-        interval_at = None
-        cur_start = cur_end = 0.0
-        cur_bits = b""
-        if kind == 1:
-            interval_at = self._compiled_store.interval_at
-            cur_start, cur_end, cur_bits = interval_at(query_seconds)
-            snapshot_refreshes = 1
+        probe, probe_counters = make_edge_probe(
+            semantics,
+            kind,
+            compiled_graph.ati_bounds,
+            query_seconds,
+            speed,
+            interval_at=self._compiled_store.interval_at if kind == 1 else None,
+        )
+        partition_once = self._partition_once
+        visited = bytearray(compiled_graph.partition_count) if partition_once else None
 
         door_count = compiled_graph.door_count
         source_node = door_count
@@ -661,10 +739,8 @@ class ITSPQEngine:
         heappush = heapq.heappush
         heappop = heapq.heappop
 
-        source_point = itsp_query.source
-        target_point = itsp_query.target
-        source_x, source_y, source_floor = source_point.x, source_point.y, source_point.floor
-        target_x, target_y, target_floor = target_point.x, target_point.y, target_point.floor
+        source_x, source_y, source_floor = anchor_point.x, anchor_point.y, anchor_point.floor
+        target_x, target_y, target_floor = goal_point.x, goal_point.y, goal_point.floor
 
         heap: List[Tuple[float, int, int]] = [(0.0, 0, source_node)]
         tie = 1
@@ -715,37 +791,19 @@ class ITSPQEngine:
                         continue
                     leg = hypot(source_x - door_x[door_idx], source_y - door_y[door_idx])
                     relaxations += 1
-                    # Inline TV check (see the class docstrings in
-                    # repro.core.compiled for the per-method semantics).  The
-                    # per-probe counters of the non-async kinds are derived
-                    # after the search: they always equal ``relaxations``.
-                    if kind == 0:
-                        open_now = bisect_right(bounds[door_idx], query_seconds + leg / speed) & 1
-                    elif kind == 1:
-                        t_arr = query_seconds + leg / speed
-                        if cur_start <= t_arr < cur_end:
-                            membership_checks += 1
-                            open_now = cur_bits[door_idx]
-                        elif t_arr >= cur_end:
-                            cur_start, cur_end, cur_bits = interval_at(t_arr)
-                            snapshot_refreshes += 1
-                            membership_checks += 1
-                            open_now = cur_bits[door_idx]
-                        else:
-                            ati_probes += 1
-                            open_now = bisect_right(bounds[door_idx], t_arr) & 1
-                    elif kind == 2:
-                        open_now = 1
-                    else:
-                        open_now = bisect_right(bounds[door_idx], query_seconds) & 1
-                    if not open_now:
+                    # Feasibility/pricing per the query's semantics and
+                    # TV-check method: see make_edge_probe, the single source
+                    # of truth (it also documents which probe counters are
+                    # counted live and which are derived from ``relaxations``).
+                    cost = probe(door_idx, leg)
+                    if cost is None:
                         temporally_pruned += 1
                         continue
-                    if leg < dist[door_idx]:
-                        dist[door_idx] = leg
+                    if cost < dist[door_idx]:
+                        dist[door_idx] = cost
                         prev_node[door_idx] = source_node
                         prev_part[door_idx] = source_pidx
-                        heappush(heap, (leg, tie, door_idx))
+                        heappush(heap, (cost, tie, door_idx))
                         tie += 1
                         heap_pushes += 1
                         heap_size += 1
@@ -757,9 +815,13 @@ class ITSPQEngine:
             doors_settled += 1
             door_distance = dist[node]
             for partition_idx, is_private, edges in adjacency[node]:
+                if partition_once and visited[partition_idx]:
+                    continue
                 if is_private and partition_idx not in allowed_private:
                     private_pruned += 1
                     continue
+                if partition_once:
+                    visited[partition_idx] = 1
                 partitions_expanded += 1
 
                 if partition_idx == target_pidx and door_floor[node] == target_floor:
@@ -776,105 +838,30 @@ class ITSPQEngine:
                         heap_size += 1
                         if heap_size > peak_heap:
                             peak_heap = heap_size
+                    if partition_once:
+                        # Lines 20-24: a door adjacent to the target partition
+                        # only relaxes p_t in the literal algorithm.
+                        continue
 
-                # The edge loop is specialised per TV-check kind so that the
-                # hottest path (ITG/S) pays exactly one bisect per relaxation
-                # and no per-edge dispatch.  All variants keep the reference
-                # search's check-before-relax ordering (Algorithm 1).
-                if kind == 0:
-                    for next_idx, leg in edges:
-                        if settled[next_idx]:
-                            continue
-                        candidate = door_distance + leg
-                        relaxations += 1
-                        if not bisect_right(bounds[next_idx], query_seconds + candidate / speed) & 1:
-                            temporally_pruned += 1
-                            continue
-                        if candidate < dist[next_idx]:
-                            dist[next_idx] = candidate
-                            prev_node[next_idx] = node
-                            prev_part[next_idx] = partition_idx
-                            heappush(heap, (candidate, tie, next_idx))
-                            tie += 1
-                            heap_pushes += 1
-                            heap_size += 1
-                            if heap_size > peak_heap:
-                                peak_heap = heap_size
-                elif kind == 1:
-                    for next_idx, leg in edges:
-                        if settled[next_idx]:
-                            continue
-                        candidate = door_distance + leg
-                        relaxations += 1
-                        t_arr = query_seconds + candidate / speed
-                        if cur_start <= t_arr < cur_end:
-                            membership_checks += 1
-                            open_now = cur_bits[next_idx]
-                        elif t_arr >= cur_end:
-                            cur_start, cur_end, cur_bits = interval_at(t_arr)
-                            snapshot_refreshes += 1
-                            membership_checks += 1
-                            open_now = cur_bits[next_idx]
-                        else:
-                            ati_probes += 1
-                            open_now = bisect_right(bounds[next_idx], t_arr) & 1
-                        if not open_now:
-                            temporally_pruned += 1
-                            continue
-                        if candidate < dist[next_idx]:
-                            dist[next_idx] = candidate
-                            prev_node[next_idx] = node
-                            prev_part[next_idx] = partition_idx
-                            heappush(heap, (candidate, tie, next_idx))
-                            tie += 1
-                            heap_pushes += 1
-                            heap_size += 1
-                            if heap_size > peak_heap:
-                                peak_heap = heap_size
-                elif kind == 2:
-                    for next_idx, leg in edges:
-                        if settled[next_idx]:
-                            continue
-                        candidate = door_distance + leg
-                        relaxations += 1
-                        if candidate < dist[next_idx]:
-                            dist[next_idx] = candidate
-                            prev_node[next_idx] = node
-                            prev_part[next_idx] = partition_idx
-                            heappush(heap, (candidate, tie, next_idx))
-                            tie += 1
-                            heap_pushes += 1
-                            heap_size += 1
-                            if heap_size > peak_heap:
-                                peak_heap = heap_size
-                else:
-                    for next_idx, leg in edges:
-                        if settled[next_idx]:
-                            continue
-                        candidate = door_distance + leg
-                        relaxations += 1
-                        if not bisect_right(bounds[next_idx], query_seconds) & 1:
-                            temporally_pruned += 1
-                            continue
-                        if candidate < dist[next_idx]:
-                            dist[next_idx] = candidate
-                            prev_node[next_idx] = node
-                            prev_part[next_idx] = partition_idx
-                            heappush(heap, (candidate, tie, next_idx))
-                            tie += 1
-                            heap_pushes += 1
-                            heap_size += 1
-                            if heap_size > peak_heap:
-                                peak_heap = heap_size
-
-        # The per-probe counters of the non-async checks are exact functions
-        # of the relaxation count (one probe per relaxation, by construction
-        # of the reference strategies), so they are derived rather than
-        # incremented inside the hot loop.
-        if kind == 0 or kind == 3:
-            ati_probes = relaxations
-        elif kind == 2:
-            membership_checks = relaxations
+                for next_idx, leg in edges:
+                    if settled[next_idx]:
+                        continue
+                    candidate = door_distance + leg
+                    relaxations += 1
+                    cost = probe(next_idx, candidate)
+                    if cost is None:
+                        temporally_pruned += 1
+                        continue
+                    if cost < dist[next_idx]:
+                        dist[next_idx] = cost
+                        prev_node[next_idx] = node
+                        prev_part[next_idx] = partition_idx
+                        heappush(heap, (cost, tie, next_idx))
+                        tie += 1
+                        heap_pushes += 1
+                        heap_size += 1
+                        if heap_size > peak_heap:
+                            peak_heap = heap_size
 
         stats.heap_pushes = heap_pushes
         stats.heap_pops = heap_pops
@@ -884,30 +871,37 @@ class ITSPQEngine:
         stats.partitions_expanded = partitions_expanded
         stats.private_partitions_pruned = private_pruned
         stats.temporally_pruned_doors = temporally_pruned
-        stats.ati_probes = ati_probes
-        stats.snapshot_refreshes = snapshot_refreshes
-        stats.membership_checks = membership_checks
+        stats.ati_probes = probe_counters[0]
+        stats.snapshot_refreshes = probe_counters[1]
+        stats.membership_checks = probe_counters[2]
+        derive_counters(semantics, kind, stats)
 
         if not found:
-            return QueryResult(
-                query=itsp_query,
-                method_label=method_label,
-                found=False,
-                path=None,
-                length=_INFINITY,
-                statistics=stats,
+            return semantics.finalise_result(
+                QueryResult(
+                    query=itsp_query,
+                    method_label=method_label,
+                    found=False,
+                    path=None,
+                    length=_INFINITY,
+                    statistics=stats,
+                ),
+                speed,
             )
 
         path = self._reconstruct_compiled(
             itsp_query, dist, prev_node, prev_part, source_node, target_node, method_label
         )
-        return QueryResult(
-            query=itsp_query,
-            method_label=method_label,
-            found=True,
-            path=path,
-            length=found_distance,
-            statistics=stats,
+        return semantics.finalise_result(
+            QueryResult(
+                query=itsp_query,
+                method_label=method_label,
+                found=True,
+                path=path,
+                length=found_distance,
+                statistics=stats,
+            ),
+            speed,
         )
 
     def _reconstruct_compiled(
@@ -924,6 +918,9 @@ class ITSPQEngine:
         compiled_graph = self._compiled_graph
         door_ids = compiled_graph.door_ids
         partition_ids = compiled_graph.partition_ids
+        semantics = itsp_query.semantics
+        anchor_point, goal_point = semantics.search_endpoints(itsp_query)
+        forward = semantics.forward
         query_seconds = itsp_query.query_time.seconds
         speed = self._walking_speed
         from_seconds = TimeOfDay._from_seconds_unchecked
@@ -940,7 +937,8 @@ class ITSPQEngine:
             if node == target_node:
                 break
             next_via = chain[index + 1][1]
-            arrival = from_seconds(query_seconds + dist[node] / speed)
+            offset = dist[node] / speed
+            arrival = from_seconds(query_seconds + offset if forward else query_seconds - offset)
             hops.append(
                 PathHop(
                     door_ids[node],
@@ -952,8 +950,8 @@ class ITSPQEngine:
             )
 
         return IndoorPath(
-            source=itsp_query.source,
-            target=itsp_query.target,
+            source=anchor_point,
+            target=goal_point,
             query_time=itsp_query.query_time,
             hops=hops,
             total_length=dist[target_node],
@@ -964,33 +962,32 @@ class ITSPQEngine:
 
     def _expand_source(
         self,
-        itsp_query: ITSPQuery,
+        anchor_point: IndoorPoint,
         source_pid: str,
-        target_pid: str,
-        strategy: TVCheckStrategy,
+        probe,
         relax,
         stats: SearchStatistics,
     ) -> None:
-        """Expand from the source point across the leaveable doors of ``P(p_s)``."""
+        """Expand from the anchor point across the leaveable doors of ``P(p_s)``."""
         topology = self._itgraph.topology
         stats.partitions_expanded += 1
         for door_id in topology.leaveable_doors(source_pid):
-            leg = self._safe_point_to_door(itsp_query.source, door_id, source_pid)
+            leg = self._safe_point_to_door(anchor_point, door_id, source_pid)
             if leg is None:
                 continue
             stats.relaxations += 1
-            if not strategy.is_passable(door_id, leg, itsp_query.query_time):
+            cost = probe(door_id, leg)
+            if cost is None:
                 stats.temporally_pruned_doors += 1
                 continue
-            relax(door_id, leg, SOURCE_NODE, source_pid)
+            relax(door_id, cost, SOURCE_NODE, source_pid)
 
     def _expand_partition(
         self,
         door_id: str,
         partition_id: str,
         door_distance: float,
-        query_time: TimeOfDay,
-        strategy: TVCheckStrategy,
+        probe,
         relax,
         settled: set,
         stats: SearchStatistics,
@@ -1010,10 +1007,11 @@ class ITSPQEngine:
             # Algorithm 1 performs the temporal check before the distance
             # improvement test; keep that order so the per-method checking
             # work matches the paper's cost profile.
-            if not strategy.is_passable(next_door, candidate, query_time):
+            cost = probe(next_door, candidate)
+            if cost is None:
                 stats.temporally_pruned_doors += 1
                 continue
-            relax(next_door, candidate, door_id, partition_id)
+            relax(next_door, cost, door_id, partition_id)
 
     def _safe_point_to_door(
         self, point: IndoorPoint, door_id: str, partition_id: str
@@ -1034,7 +1032,15 @@ class ITSPQEngine:
         prev: Dict[str, Tuple[str, str]],
         method_label: str,
     ) -> IndoorPath:
-        """Rebuild the path from the predecessor labels (lines 11-17)."""
+        """Rebuild the path from the predecessor labels (lines 11-17).
+
+        The path is anchor-rooted: under forward semantics the anchor is the
+        query source and this *is* the user-facing path; latest-departure
+        paths are re-oriented by ``finalise_result``.
+        """
+        semantics = itsp_query.semantics
+        anchor_point, goal_point = semantics.search_endpoints(itsp_query)
+        query_seconds = itsp_query.query_time.seconds
         # Walk back from the target to the source, collecting (node, via_partition).
         chain: List[Tuple[str, str]] = []
         node = TARGET_NODE
@@ -1051,7 +1057,13 @@ class ITSPQEngine:
             # ``node`` is a door; the partition entered through it is recorded
             # on the *next* element of the chain.
             next_via = chain[index + 1][1]
-            arrival = itsp_query.query_time.add_seconds(dist[node] / self._walking_speed)
+            if isinstance(semantics, NoWait):
+                arrival = itsp_query.query_time.add_seconds(dist[node] / self._walking_speed)
+            else:
+                offset = dist[node] / self._walking_speed
+                arrival = TimeOfDay._from_seconds_unchecked(
+                    query_seconds + offset if semantics.forward else query_seconds - offset
+                )
             hops.append(
                 PathHop(
                     door_id=node,
@@ -1063,8 +1075,8 @@ class ITSPQEngine:
             )
 
         return IndoorPath(
-            source=itsp_query.source,
-            target=itsp_query.target,
+            source=anchor_point,
+            target=goal_point,
             query_time=itsp_query.query_time,
             hops=hops,
             total_length=dist[TARGET_NODE],

@@ -13,7 +13,11 @@ Process model
   :class:`~repro.core.compiled.CompiledITGraph` and runs the
   :class:`~repro.core.batch.BatchPlanner` (endpoint location included), so
   malformed queries fail fast with :class:`~repro.exceptions.QueryError`
-  before any work is shipped.
+  before any work is shipped.  Each planned group carries its
+  :class:`~repro.core.semantics.TemporalSemantics` — a frozen, picklable
+  value object inside the pickled :class:`~repro.core.batch.BatchGroup` —
+  so workers answer wait-tolerant, latest-departure and time-window queries
+  without any semantics-specific plumbing in this module.
 * **Arena per worker.**  Each worker process owns one
   :class:`~repro.core.batch.BatchExecutor` — and therefore one
   generation-stamped :class:`~repro.core.batch.SearchArena` and one

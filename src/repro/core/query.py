@@ -8,6 +8,7 @@ from typing import Dict, Optional
 from repro.exceptions import QueryError
 from repro.geometry.point import IndoorPoint
 from repro.core.path import IndoorPath
+from repro.core.semantics import NO_WAIT, SemanticsLike, TemporalSemantics, canonical_semantics
 from repro.temporal.timeofday import TimeLike, TimeOfDay, as_time_of_day
 
 
@@ -22,28 +23,52 @@ class ITSPQuery:
     target:
         The target point ``p_t``.
     query_time:
-        The timestamp ``t`` at which the user starts walking.
+        The timestamp ``t`` at which the user starts walking (or, under
+        latest-departure semantics, the arrival deadline).
     label:
         Optional free-form tag used by workload generators (e.g. the δs2t
         bucket the query instance was generated for).
+    semantics:
+        The :class:`~repro.core.semantics.TemporalSemantics` the query is to
+        be answered under; defaults to the paper's no-wait semantics.  All
+        normalisation/validation of the semantics argument happens here, once,
+        rather than per engine tier.
     """
 
     source: IndoorPoint
     target: IndoorPoint
     query_time: TimeOfDay
     label: str = ""
+    semantics: TemporalSemantics = NO_WAIT
 
-    def __init__(self, source: IndoorPoint, target: IndoorPoint, query_time: TimeLike, label: str = ""):
+    def __init__(
+        self,
+        source: IndoorPoint,
+        target: IndoorPoint,
+        query_time: TimeLike,
+        label: str = "",
+        semantics: SemanticsLike = NO_WAIT,
+    ):
         if not isinstance(source, IndoorPoint) or not isinstance(target, IndoorPoint):
             raise QueryError("query endpoints must be IndoorPoint instances")
         object.__setattr__(self, "source", source)
         object.__setattr__(self, "target", target)
         object.__setattr__(self, "query_time", as_time_of_day(query_time))
         object.__setattr__(self, "label", label)
+        object.__setattr__(self, "semantics", canonical_semantics(semantics))
 
     def at_time(self, query_time: TimeLike) -> "ITSPQuery":
         """Return the same origin/destination pair issued at a different time."""
-        return ITSPQuery(self.source, self.target, query_time, self.label)
+        return ITSPQuery(self.source, self.target, query_time, self.label, self.semantics)
+
+    def with_semantics(self, semantics: SemanticsLike) -> "ITSPQuery":
+        """Return the same query under a different temporal semantics.
+
+        Accepts an instance or a canonical name (``"no-wait"``,
+        ``"wait-tolerant"``, ``"latest-departure"``; a time window needs an
+        explicit :class:`~repro.core.semantics.TimeWindow` instance).
+        """
+        return ITSPQuery(self.source, self.target, self.query_time, self.label, semantics)
 
     def __str__(self) -> str:
         return f"ITSPQ({self.source}, {self.target}, {self.query_time})"
@@ -139,6 +164,12 @@ class QueryResult:
     def is_reachable(self) -> bool:
         """Alias of ``found``."""
         return self.found
+
+    @property
+    def semantics(self) -> TemporalSemantics:
+        """The temporal semantics the result was computed under (the
+        query's — a result can never answer a different semantics)."""
+        return self.query.semantics
 
     def require_path(self) -> IndoorPath:
         """Return the path or raise :class:`~repro.exceptions.NoPathExistsError`."""

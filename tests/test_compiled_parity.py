@@ -284,9 +284,10 @@ class TestCompiledCheckClasses:
 
 
 class TestDispatchModes:
-    def test_partition_once_disables_compiled(self, example_itgraph):
+    def test_partition_once_keeps_compiled_enabled(self, example_itgraph):
         engine = ITSPQEngine(example_itgraph, partition_once=True)
-        assert not engine.compiled
+        assert engine.compiled
+        assert engine.partition_once
 
     def test_explicit_strategy_uses_reference_search(self, example_itgraph, example_points):
         engine = ITSPQEngine(example_itgraph, compiled=True)
