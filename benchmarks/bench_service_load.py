@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Service load generator: latency vs offered QPS against a live server.
+
+Spawns ``python -m repro.service`` as a real subprocess (the same entry
+point a deployment uses), waits for its ``listening on HOST:PORT`` line,
+then drives **open-loop** arrivals at each configured QPS level: requests
+fire on a fixed schedule regardless of how fast earlier ones complete, so
+queueing delay shows up in the latencies instead of silently throttling the
+generator (the coordinated-omission trap of closed-loop load tools).
+
+Per level the record carries offered vs achieved QPS, latency p50/p99, and
+the outcome split — answered 200s, shed 429s (admission control working as
+designed under overload), and anything else (which fails the run).  The
+server is then shut down with SIGINT and must print ``drained and closed``:
+the graceful-lifecycle contract is part of the benchmark's acceptance, not
+a separate test.
+
+Writes ``BENCH_service.json`` at the repository root by default.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py
+    PYTHONPATH=src python benchmarks/bench_service_load.py --qps 10,50 --duration 1 --out BENCH_service_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from _bench_env import bench_environment  # noqa: E402
+from repro.datasets.example_floorplan import example_query_points  # noqa: E402
+
+
+def percentile(samples, fraction):
+    """Nearest-rank percentile (the service metrics use the same rule)."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def request_bodies():
+    """A small rotation of distinct queries over the running example."""
+    points = example_query_points()
+    pairs = [
+        (points["p3"], points["p4"], "9:00"),
+        (points["p4"], points["p3"], "14:00"),
+        (points["p1"], points["p2"], "10:30"),
+        (points["p2"], points["p1"], "18:00"),
+    ]
+    bodies = []
+    for source, target, when in pairs:
+        bodies.append(
+            json.dumps(
+                {
+                    "source": [source.x, source.y, source.floor],
+                    "target": [target.x, target.y, target.floor],
+                    "time": when,
+                }
+            ).encode()
+        )
+    return bodies
+
+
+async def one_request(host: str, port: int, body: bytes):
+    """One timed POST /query; returns ``(status, latency_seconds)``."""
+    started = time.perf_counter()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (b"POST /query HTTP/1.1\r\nContent-Length: %d\r\n\r\n" % len(body)) + body
+        )
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        status = int(head.split(b" ")[1])
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length"):
+                length = int(line.split(b":")[1])
+        if length:
+            await reader.readexactly(length)
+        return status, time.perf_counter() - started
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def run_level(host: str, port: int, qps: float, duration: float, bodies):
+    """Open-loop arrivals at ``qps`` for ``duration`` seconds."""
+    interval = 1.0 / qps
+    total = max(1, int(duration * qps))
+    tasks = []
+    started = time.perf_counter()
+    for index in range(total):
+        delay = started + index * interval - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(one_request(host, port, bodies[index % len(bodies)]))
+        )
+    outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+    elapsed = time.perf_counter() - started
+
+    latencies_ok = []
+    answered = shed = errors = 0
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException):
+            errors += 1
+            continue
+        status, latency = outcome
+        if status == 200:
+            answered += 1
+            latencies_ok.append(latency)
+        elif status == 429:
+            shed += 1
+        else:
+            errors += 1
+    return {
+        "offered_qps": qps,
+        "requests": total,
+        "achieved_qps": total / elapsed if elapsed > 0 else None,
+        "answered": answered,
+        "shed": shed,
+        "errors": errors,
+        "shed_rate": shed / total,
+        "latency_p50_seconds": percentile(latencies_ok, 0.50),
+        "latency_p99_seconds": percentile(latencies_ok, 0.99),
+        "latency_max_seconds": max(latencies_ok) if latencies_ok else None,
+    }
+
+
+def start_server(args) -> "tuple[subprocess.Popen, str, int]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src")
+    command = [
+        sys.executable,
+        "-m",
+        "repro.service",
+        "--venue",
+        args.venue,
+        "--port",
+        "0",
+        "--cache",
+        "eager",
+        "--window-ms",
+        str(args.window_ms),
+        "--max-pending",
+        str(args.max_pending),
+        "--workers",
+        str(args.workers),
+    ]
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env
+    )
+    deadline = time.monotonic() + 120.0
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line.startswith("listening on "):
+            break
+        if process.poll() is not None:
+            raise SystemExit(
+                f"server exited before listening: {process.stderr.read()[-2000:]}"
+            )
+    else:
+        process.kill()
+        raise SystemExit("server did not report listening within 120s")
+    address = line.strip().split(" ")[-1]
+    host, _, port = address.rpartition(":")
+    return process, host, int(port)
+
+
+def stop_server(process: subprocess.Popen) -> str:
+    """SIGINT the server and return its remaining stdout (the drain line)."""
+    process.send_signal(signal.SIGINT)
+    try:
+        stdout, stderr = process.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SystemExit("server did not drain within 60s of SIGINT")
+    if process.returncode != 0:
+        raise SystemExit(f"server exited with {process.returncode}: {stderr[-2000:]}")
+    return stdout
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--qps", default="20,50,100", help="comma-separated offered QPS levels")
+    parser.add_argument("--duration", type=float, default=2.0, help="seconds per level")
+    parser.add_argument("--venue", default="example")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--window-ms", type=float, default=2.0)
+    parser.add_argument("--max-pending", type=int, default=64)
+    parser.add_argument("--out", default=str(_REPO_ROOT / "BENCH_service.json"))
+    args = parser.parse_args()
+    levels = [float(level) for level in args.qps.split(",") if level.strip()]
+
+    process, host, port = start_server(args)
+    bodies = request_bodies()
+    try:
+        results = []
+        for qps in levels:
+            result = asyncio.run(run_level(host, port, qps, args.duration, bodies))
+            results.append(result)
+            p50 = result["latency_p50_seconds"]
+            p99 = result["latency_p99_seconds"]
+            print(
+                f"qps={qps:>6.1f}  answered={result['answered']:>4}  "
+                f"shed={result['shed']:>4}  errors={result['errors']:>2}  "
+                f"p50={p50 * 1e3 if p50 is not None else float('nan'):8.2f}ms  "
+                f"p99={p99 * 1e3 if p99 is not None else float('nan'):8.2f}ms"
+            )
+    finally:
+        stdout = stop_server(process)
+
+    if "drained and closed" not in stdout:
+        raise SystemExit(f"server did not report a graceful drain; stdout tail: {stdout[-500:]}")
+    print("server drained and closed cleanly")
+
+    total_errors = sum(result["errors"] for result in results)
+    if total_errors:
+        raise SystemExit(f"{total_errors} request(s) failed with unexpected errors")
+
+    record = {
+        "benchmark": "service_load",
+        "environment": bench_environment(),
+        "config": {
+            "venue": args.venue,
+            "workers": args.workers,
+            "window_ms": args.window_ms,
+            "max_pending": args.max_pending,
+            "duration_seconds": args.duration,
+            "arrivals": "open-loop",
+        },
+        "levels": results,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,7 @@ from repro import datasets, geometry, indoor, temporal
 from repro.constants import WALKING_SPEED_KMH, WALKING_SPEED_MPS
 from repro.core import (
     AsynchronousCheck,
+    CacheConfig,
     CheckMethod,
     GraphSnapshot,
     GraphUpdater,
@@ -46,6 +47,7 @@ from repro.core import (
     ITSPQuery,
     IndoorPath,
     QueryResult,
+    SearchDeadline,
     StaticCheck,
     SynchronousCheck,
     build_itgraph,
@@ -55,6 +57,7 @@ from repro.core import (
 from repro.exceptions import (
     ChunkTimeoutError,
     CorruptPayloadError,
+    DeadlineExceededError,
     InvalidGeometryError,
     InvalidTimeError,
     NoPathExistsError,
@@ -62,6 +65,9 @@ from repro.exceptions import (
     QueryError,
     ReproError,
     SerializationError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceUnavailableError,
     TopologyError,
     WorkerCrashError,
 )
@@ -112,6 +118,8 @@ __all__ = [
     "ITSPQuery",
     "QueryResult",
     "IndoorPath",
+    "CacheConfig",
+    "SearchDeadline",
     "static_shortest_path",
     "query_time_snapshot_path",
     # exceptions
@@ -123,9 +131,13 @@ __all__ = [
     "NoPathExistsError",
     "SerializationError",
     "CorruptPayloadError",
+    "DeadlineExceededError",
     "ParallelExecutionError",
     "WorkerCrashError",
     "ChunkTimeoutError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceUnavailableError",
     # subpackages
     "datasets",
     "geometry",

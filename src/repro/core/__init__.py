@@ -41,7 +41,9 @@ Contents
 """
 
 from repro.core.batch import BatchExecutor, BatchGroup, BatchPlanner, SearchArena
+from repro.core.cache import CacheConfig, SPTreeCache
 from repro.core.compiled import CompiledITGraph
+from repro.core.deadline import SearchDeadline
 from repro.core.parallel import ExecutionReport, ParallelBatchExecutor, default_worker_count
 from repro.core.itgraph import DoorRecord, ITGraph, PartitionRecord, build_itgraph
 from repro.core.snapshot import GraphSnapshot, GraphUpdater, IntervalBitsets
@@ -68,6 +70,9 @@ __all__ = [
     "BatchExecutor",
     "BatchGroup",
     "BatchPlanner",
+    "CacheConfig",
+    "SPTreeCache",
+    "SearchDeadline",
     "ExecutionReport",
     "ParallelBatchExecutor",
     "SearchArena",

@@ -60,6 +60,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.constants import WALKING_SPEED_MPS
 from repro.core.cache import CacheConfig, SPTreeCache, TimeKeyResolver
 from repro.core.compiled import COMPILED_KINDS, CompiledITGraph
+from repro.core.deadline import SearchDeadline
 from repro.core.path import IndoorPath, PathHop
 from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
 from repro.core.semantics import NO_WAIT, TemporalSemantics, derive_counters, make_edge_probe
@@ -386,15 +387,29 @@ class BatchExecutor:
         (``None`` when caching is off)."""
         return self._cache
 
-    def run_batch(self, queries: Sequence[ITSPQuery], method_name: str) -> List[QueryResult]:
+    def run_batch(
+        self,
+        queries: Sequence[ITSPQuery],
+        method_name: str,
+        deadline: Optional[SearchDeadline] = None,
+    ) -> List[QueryResult]:
         """Answer ``queries`` (canonical ``method_name``) and return results
-        in input order."""
+        in input order.  ``deadline`` is the cooperative budget shared by
+        the whole call — expiry raises
+        :class:`~repro.exceptions.DeadlineExceededError`, never a partial
+        result list."""
         results: List[Optional[QueryResult]] = [None] * len(queries)
-        for order, result in self.run_planned(self._planner.plan(queries, method_name)):
+        for order, result in self.run_planned(
+            self._planner.plan(queries, method_name), deadline=deadline
+        ):
             results[order] = result
         return results  # type: ignore[return-value]
 
-    def run_planned(self, groups: Sequence[BatchGroup]) -> List[Tuple[int, QueryResult]]:
+    def run_planned(
+        self,
+        groups: Sequence[BatchGroup],
+        deadline: Optional[SearchDeadline] = None,
+    ) -> List[Tuple[int, QueryResult]]:
         """Execute already-planned groups; returns ``(member order, result)``
         pairs in group-plan order.
 
@@ -404,6 +419,11 @@ class BatchExecutor:
         merge deterministically by member order.  ``runtime_seconds`` is the
         group's wall time amortised over its members, as in
         :meth:`run_batch`.
+
+        An armed ``deadline`` is polled inside every group's search (and any
+        cache recording run); the arena's generation stamp makes an aborted
+        run invisible to the next one, so the executor stays fully usable
+        after an expiry.
         """
         self.last_group_count = len(groups)
         cache = self._cache
@@ -413,7 +433,7 @@ class BatchExecutor:
             if cache is not None and group.cache_key is not None:
                 tree = cache.lookup(group.cache_key)
                 if tree is None and cache.should_build(group.cache_key):
-                    tree = cache.build_for_group(group)
+                    tree = cache.build_for_group(group, deadline=deadline)
                 if tree is not None:
                     answers = [
                         (order, cache.answer(tree, query, target_pidx))
@@ -424,7 +444,7 @@ class BatchExecutor:
                         result.statistics.runtime_seconds = elapsed
                         pairs.append((order, result))
                     continue
-            targets = self._run_group(group)
+            targets = self._run_group(group, deadline)
             elapsed = (time.perf_counter() - started) / len(targets)
             for target in targets:
                 target.result.statistics.runtime_seconds = elapsed
@@ -433,7 +453,9 @@ class BatchExecutor:
 
     # -- the shared multi-target search ------------------------------------------------
 
-    def _run_group(self, group: BatchGroup) -> List[_Target]:
+    def _run_group(
+        self, group: BatchGroup, deadline: Optional[SearchDeadline] = None
+    ) -> List[_Target]:
         """Run one group's shared search; returns its members with results.
 
         This mirrors ``ITSPQEngine._search_compiled`` relaxation for
@@ -546,6 +568,8 @@ class BatchExecutor:
 
         remaining = len(targets)
         while heap:
+            if deadline is not None:
+                deadline.tick()
             distance, _, node = heappop_local(heap)
             if node > source_node:
                 # A member's target entry.  Stale entries (superseded pushes

@@ -73,6 +73,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.constants import WALKING_SPEED_MPS
 from repro.core.compiled import CompiledITGraph
+from repro.core.deadline import SearchDeadline
 from repro.core.path import IndoorPath, PathHop
 from repro.core.query import ITSPQuery, QueryResult, SearchStatistics
 from repro.core.semantics import NO_WAIT, TemporalSemantics, derive_counters, make_edge_probe
@@ -124,12 +125,16 @@ class CacheConfig:
         prune_unreachable: bool = False,
         precompute: bool = False,
     ):
+        if not isinstance(max_entries, int) or isinstance(max_entries, bool):
+            raise ValueError(f"max_entries must be an integer, got {max_entries!r}")
         if max_entries < 1:
-            raise ValueError(f"cache capacity must be positive, got {max_entries}")
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
         if mode not in _MODES:
             raise ValueError(f"unknown cache mode {mode!r} (expected one of {_MODES})")
+        if not isinstance(promote_after, int) or isinstance(promote_after, bool):
+            raise ValueError(f"promote_after must be an integer, got {promote_after!r}")
         if promote_after < 1:
-            raise ValueError(f"promotion threshold must be positive, got {promote_after}")
+            raise ValueError(f"promote_after must be positive, got {promote_after}")
         self.max_entries = int(max_entries)
         self.mode = mode
         self.promote_after = int(promote_after)
@@ -418,16 +423,28 @@ class SPTreeCache:
         allowed_private,
         rep_seconds: float,
         semantics: TemporalSemantics = NO_WAIT,
+        deadline: Optional[SearchDeadline] = None,
     ) -> CachedTree:
-        """Record the zero-target run for ``key`` and cache the tree."""
+        """Record the zero-target run for ``key`` and cache the tree.
+
+        An armed ``deadline`` is checked before the recording run starts and
+        polled inside it; expiry raises before anything is cached, so the
+        cache never holds a tree from an interrupted run."""
         tree = self._record_tree(
-            kind, method_label, source, source_pidx, allowed_private, rep_seconds, semantics
+            kind,
+            method_label,
+            source,
+            source_pidx,
+            allowed_private,
+            rep_seconds,
+            semantics,
+            deadline,
         )
         self.store_tree(key, tree)
         self.trees_built += 1
         return tree
 
-    def build_for_group(self, group) -> CachedTree:
+    def build_for_group(self, group, deadline: Optional[SearchDeadline] = None) -> CachedTree:
         """Record and cache the tree of one planned batch group."""
         return self.build(
             group.cache_key,
@@ -438,10 +455,19 @@ class SPTreeCache:
             group.allowed_private,
             group.rep_seconds,
             group.semantics,
+            deadline=deadline,
         )
 
     def _record_tree(
-        self, kind, method_label, source, source_pidx, allowed_private, rep_seconds, semantics
+        self,
+        kind,
+        method_label,
+        source,
+        source_pidx,
+        allowed_private,
+        rep_seconds,
+        semantics,
+        deadline: Optional[SearchDeadline] = None,
     ) -> CachedTree:
         """The zero-target, full-exhaustion twin of the batch executor's
         shared search, with the event log recorded alongside.
@@ -515,7 +541,14 @@ class SPTreeCache:
         dist[source_node] = 0.0
         tie = 1
 
+        if deadline is not None:
+            # A recording run is a full-exhaustion search: refuse to start
+            # one on an already-spent budget rather than discover it mid-run.
+            deadline.check_now()
+
         while heap:
+            if deadline is not None:
+                deadline.tick()
             distance, entry_tie, node = heappop_local(heap)
             pop_dist.append(distance)
             pop_push.append(entry_tie)

@@ -48,6 +48,7 @@ from repro.constants import WALKING_SPEED_MPS
 from repro.core.batch import BatchExecutor
 from repro.core.cache import CacheConfig, SPTreeCache
 from repro.core.compiled import COMPILED_KINDS, CompiledITGraph
+from repro.core.deadline import SearchDeadline
 from repro.core.parallel import ExecutionReport, ParallelBatchExecutor, default_worker_count
 from repro.core.itgraph import ITGraph
 from repro.core.path import IndoorPath, PathHop
@@ -134,14 +135,7 @@ class ITSPQEngine:
         # tunes capacity/admission/precompute, ``None``/``False`` keeps every
         # query on the fresh-search path (the default — caching is a
         # service-workload optimisation, not a correctness feature).
-        if cache is None or cache is False:
-            self._cache_config: Optional[CacheConfig] = None
-        elif cache is True:
-            self._cache_config = CacheConfig()
-        elif isinstance(cache, CacheConfig):
-            self._cache_config = cache
-        else:
-            raise TypeError(f"cache must be a CacheConfig or boolean, got {cache!r}")
+        self._cache_config = self._normalise_cache_option(cache)
         if self._cache_config is not None and partition_once:
             # Cached trees record the standard expansion; replaying them
             # under the literal-Algorithm-1 pruning would not be parity.
@@ -153,6 +147,55 @@ class ITSPQEngine:
         self._parallel_executors: Dict[int, ParallelBatchExecutor] = {}
         self._compiled_payload: Optional[bytes] = None
         self._last_execution_report: Optional[ExecutionReport] = None
+
+    @staticmethod
+    def _normalise_cache_option(cache: Union[None, bool, CacheConfig]) -> Optional[CacheConfig]:
+        if cache is None or cache is False:
+            return None
+        if cache is True:
+            return CacheConfig()
+        if isinstance(cache, CacheConfig):
+            return cache
+        raise TypeError(f"cache must be a CacheConfig or boolean, got {cache!r}")
+
+    @classmethod
+    def from_compiled_payload(
+        cls,
+        payload: bytes,
+        walking_speed: float = WALKING_SPEED_MPS,
+        cache: Union[None, bool, CacheConfig] = None,
+    ) -> "ITSPQEngine":
+        """An engine rehydrated from a :mod:`repro.io.compiled_codec` payload.
+
+        This is the serving-layer shard hand-off: a venue travels as one
+        codec blob and the receiving process answers queries without ever
+        materialising the object-level IT-Graph.  The engine is
+        compiled-only — the reference search, explicit TV-check strategies
+        and the ``partition_once`` study mode (all of which need the
+        object-level graph) raise :class:`~repro.exceptions.QueryError`.
+        The payload is kept verbatim as the parallel executor's worker
+        hand-off, so serving a shard re-serialises nothing.
+        """
+        from repro.io.compiled_codec import compiled_graph_from_bytes
+
+        if walking_speed <= 0:
+            raise ValueError(f"walking speed must be positive, got {walking_speed}")
+        payload = bytes(payload)
+        engine = cls.__new__(cls)
+        engine._itgraph = None
+        engine._walking_speed = walking_speed
+        engine._partition_once = False
+        engine._updater = None
+        engine._compiled_enabled = True
+        engine._cache_config = cls._normalise_cache_option(cache)
+        engine._cache = None
+        engine._compiled_graph = compiled_graph_from_bytes(payload)
+        engine._compiled_store = engine._compiled_graph.interval_bitsets.store()
+        engine._batch_executor = None
+        engine._parallel_executors = {}
+        engine._compiled_payload = payload
+        engine._last_execution_report = None
+        return engine
 
     # -- public API ------------------------------------------------------------------
 
@@ -215,6 +258,7 @@ class ITSPQEngine:
         query_time: TimeLike,
         method: MethodLike = CheckMethod.SYNCHRONOUS,
         strategy: Optional[TVCheckStrategy] = None,
+        deadline: Optional[SearchDeadline] = None,
     ) -> QueryResult:
         """Answer ``ITSPQ(source, target, query_time)``.
 
@@ -231,15 +275,21 @@ class ITSPQEngine:
         strategy:
             A pre-built :class:`TVCheckStrategy`, e.g. to share counters
             across a benchmark run.
+        deadline:
+            An optional :class:`~repro.core.deadline.SearchDeadline`; an
+            expired budget raises
+            :class:`~repro.exceptions.DeadlineExceededError` instead of
+            returning a (never partial) result.
         """
         itsp_query = ITSPQuery(source, target, query_time)
-        return self.run(itsp_query, method=method, strategy=strategy)
+        return self.run(itsp_query, method=method, strategy=strategy, deadline=deadline)
 
     def run(
         self,
         itsp_query: ITSPQuery,
         method: MethodLike = CheckMethod.SYNCHRONOUS,
         strategy: Optional[TVCheckStrategy] = None,
+        deadline: Optional[SearchDeadline] = None,
     ) -> QueryResult:
         """Answer a pre-built :class:`~repro.core.query.ITSPQuery`.
 
@@ -252,8 +302,20 @@ class ITSPQEngine:
         The query's :attr:`~repro.core.query.ITSPQuery.semantics` selects the
         temporal semantics; the non-default semantics require the synchronous
         method and run on both engines through the shared probe kernel.
+
+        ``deadline`` arms the cooperative per-request budget on whichever
+        tier answers (reference, compiled, or cache-recording): the search
+        polls it every few heap pops and raises
+        :class:`~repro.exceptions.DeadlineExceededError` once it expires —
+        never a partial result.  A deadline that does not fire changes
+        nothing: results are bit-identical to an un-deadlined run.
         """
         semantics = itsp_query.semantics
+        if strategy is not None and self._itgraph is None:
+            raise QueryError(
+                "explicit TV-check strategies need the object-level IT-Graph "
+                "(this engine was rehydrated from a compiled payload)"
+            )
         if strategy is None:
             method_name = canonical_method(_normalise_method(method))
             semantics.validate_method(method_name)
@@ -262,9 +324,9 @@ class ITSPQEngine:
                 started = time.perf_counter()
                 result = None
                 if self._cache is not None:
-                    result = self._cached_compiled(itsp_query, method_name)
+                    result = self._cached_compiled(itsp_query, method_name, deadline)
                 if result is None:
-                    result = self._search_compiled(itsp_query, method_name)
+                    result = self._search_compiled(itsp_query, method_name, deadline)
                 result.statistics.runtime_seconds = time.perf_counter() - started
                 return result
             if isinstance(semantics, NoWait):
@@ -274,7 +336,7 @@ class ITSPQEngine:
         elif not isinstance(semantics, NoWait):
             raise QueryError("explicit TV-check strategies answer only the no-wait semantics")
         started = time.perf_counter()
-        result = self._search(itsp_query, strategy)
+        result = self._search(itsp_query, strategy, deadline)
         result.statistics.runtime_seconds = time.perf_counter() - started
         return result
 
@@ -283,6 +345,13 @@ class ITSPQEngine:
         """The engine's shortest-path-tree cache (``None`` when caching is
         off or the compiled index is not yet built)."""
         return self._cache
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether the engine was configured with an SP-tree cache (true
+        even before the lazy compiled build materialises it) — the seam the
+        service uses to decide whether a cache-replay rung exists."""
+        return self._cache_config is not None
 
     @property
     def cache_stats(self) -> Optional[Dict[str, object]]:
@@ -313,7 +382,12 @@ class ITSPQEngine:
         groups = self.batch_executor().planner.plan(list(queries), method_name)
         return self._cache.warm(groups)
 
-    def _cached_compiled(self, itsp_query: ITSPQuery, method_name: str) -> Optional[QueryResult]:
+    def _cached_compiled(
+        self,
+        itsp_query: ITSPQuery,
+        method_name: str,
+        deadline: Optional[SearchDeadline] = None,
+    ) -> Optional[QueryResult]:
         """Answer one query from the cache, or ``None`` to fall through to
         the fresh compiled search (key not admitted yet)."""
         cache = self._cache
@@ -344,9 +418,59 @@ class ITSPQEngine:
             if not cache.should_build(key):
                 return None
             tree = cache.build(
-                key, kind, method_label, anchor_point, source_pidx, allowed, query_seconds, semantics
+                key,
+                kind,
+                method_label,
+                anchor_point,
+                source_pidx,
+                allowed,
+                query_seconds,
+                semantics,
+                deadline=deadline,
             )
         return cache.answer(tree, itsp_query, target_pidx)
+
+    def answer_from_cache(
+        self,
+        itsp_query: ITSPQuery,
+        method: MethodLike = CheckMethod.SYNCHRONOUS,
+    ) -> Optional[QueryResult]:
+        """Answer a query **only** if its shortest-path tree is already
+        cached; ``None`` on a cache miss (no search, no recording run).
+
+        This is the replay-only seam the service's deepest degradation rung
+        uses when every search tier is unhealthy: a hit costs O(path length)
+        and is bit-identical to a fresh search by the cache parity contract;
+        a miss costs one key computation.  Requires an engine cache
+        (``cache=...``) and the compiled fast path.
+        """
+        if not self._compiled_enabled:
+            raise QueryError("cache replay requires the compiled fast path")
+        self.ensure_compiled()
+        cache = self._cache
+        if cache is None:
+            raise QueryError("cache replay requires an engine cache (cache=... option)")
+        semantics = itsp_query.semantics
+        method_name = canonical_method(_normalise_method(method))
+        semantics.validate_method(method_name)
+        graph = self._compiled_graph
+        kind, _method_label = COMPILED_KINDS[method_name]
+        anchor_point, goal_point = semantics.search_endpoints(itsp_query)
+        try:
+            source_pidx = graph.locate_index(anchor_point)
+            target_pidx = graph.locate_index(goal_point)
+        except UnknownEntityError as exc:
+            raise QueryError(f"query endpoint outside the indoor space: {exc}") from exc
+        key, _allowed = cache.plan_key(
+            kind, anchor_point, itsp_query.query_time.seconds, source_pidx, target_pidx, semantics
+        )
+        tree = cache.lookup(key)
+        if tree is None:
+            return None
+        started = time.perf_counter()
+        result = cache.answer(tree, itsp_query, target_pidx)
+        result.statistics.runtime_seconds = time.perf_counter() - started
+        return result
 
     def batch_executor(self) -> BatchExecutor:
         """The engine's :class:`~repro.core.batch.BatchExecutor` (built lazily).
@@ -394,7 +518,7 @@ class ITSPQEngine:
         self.ensure_compiled()
         count = int(workers) if workers is not None else default_worker_count()
         if count < 1:
-            raise ValueError(f"worker count must be positive, got {workers}")
+            raise ValueError(f"workers must be positive, got {workers}")
         executor = self._parallel_executors.get(count)
         if executor is None or options:
             if executor is not None:
@@ -440,6 +564,7 @@ class ITSPQEngine:
         method: MethodLike = CheckMethod.SYNCHRONOUS,
         batch: bool = True,
         workers: Optional[int] = None,
+        deadline: Optional[SearchDeadline] = None,
     ) -> List[QueryResult]:
         """Answer a list of queries with the same method.
 
@@ -466,14 +591,25 @@ class ITSPQEngine:
         on :attr:`last_execution_report` describing how the workload was
         executed (and, for a worker pool, what failed and how it was
         recovered).
+
+        ``deadline`` is the cooperative budget shared by the whole call on
+        the in-process paths (batched, sequential compiled, reference); the
+        parallel tier bounds work with its per-chunk timeout instead, so
+        combining ``workers>1`` with a deadline raises
+        :class:`~repro.exceptions.QueryError`.
         """
         method_name = canonical_method(_normalise_method(method))
         if workers is not None:
             if workers < 1:
-                raise ValueError(f"worker count must be positive, got {workers}")
+                raise ValueError(f"workers must be positive, got {workers}")
             if workers > 1:
                 if not batch:
                     raise QueryError("workers>1 requires batch execution (batch=True)")
+                if deadline is not None:
+                    raise QueryError(
+                        "deadlines are enforced on the in-process tiers; the parallel "
+                        "tier bounds work with chunk_timeout instead"
+                    )
                 executor = self.parallel_executor(workers)
                 results = executor.run_batch(queries, method_name)
                 self._last_execution_report = executor.last_report
@@ -481,6 +617,7 @@ class ITSPQEngine:
             # workers=1 is the explicit "no parallelism" request: fall through
             # to the in-process paths below.
         started_call = time.perf_counter()
+        dispatch_unix = time.time()
         if self._compiled_enabled:
             if batch and self._partition_once:
                 # The multi-target batch search shares one expansion across
@@ -490,13 +627,14 @@ class ITSPQEngine:
                 batch = False
             if batch:
                 batch_executor = self.batch_executor()
-                results = batch_executor.run_batch(queries, method_name)
+                results = batch_executor.run_batch(queries, method_name, deadline=deadline)
                 self._last_execution_report = ExecutionReport(
                     mode="batched",
                     workers=1,
                     usable_cpus=default_worker_count(),
                     queries=len(queries),
                     groups=batch_executor.last_group_count,
+                    dispatch_unix=dispatch_unix,
                     elapsed_seconds=time.perf_counter() - started_call,
                 )
                 return results
@@ -505,7 +643,7 @@ class ITSPQEngine:
             for query in queries:
                 query.semantics.validate_method(method_name)
                 started = time.perf_counter()
-                result = self._search_compiled(query, method_name)
+                result = self._search_compiled(query, method_name, deadline)
                 result.statistics.runtime_seconds = time.perf_counter() - started
                 results.append(result)
         else:
@@ -519,10 +657,10 @@ class ITSPQEngine:
             for query in queries:
                 started = time.perf_counter()
                 if isinstance(query.semantics, NoWait):
-                    result = self._search(query, strategy)
+                    result = self._search(query, strategy, deadline)
                 else:
                     query.semantics.validate_method(method_name)
-                    result = self._search(query, None)
+                    result = self._search(query, None, deadline)
                 result.statistics.runtime_seconds = time.perf_counter() - started
                 results.append(result)
         self._last_execution_report = ExecutionReport(
@@ -531,13 +669,19 @@ class ITSPQEngine:
             usable_cpus=default_worker_count(),
             queries=len(queries),
             groups=len(queries),
+            dispatch_unix=dispatch_unix,
             elapsed_seconds=time.perf_counter() - started_call,
         )
         return results
 
     # -- the search (Algorithm 1) ----------------------------------------------------------
 
-    def _search(self, itsp_query: ITSPQuery, strategy: Optional[TVCheckStrategy]) -> QueryResult:
+    def _search(
+        self,
+        itsp_query: ITSPQuery,
+        strategy: Optional[TVCheckStrategy],
+        deadline: Optional[SearchDeadline] = None,
+    ) -> QueryResult:
         itgraph = self._itgraph
         topology = itgraph.topology
         query_time = itsp_query.query_time
@@ -607,6 +751,8 @@ class ITSPQEngine:
             relax(TARGET_NODE, direct, SOURCE_NODE, source_pid)
 
         while heap:
+            if deadline is not None:
+                deadline.tick()
             distance, _, node = heapq.heappop(heap)
             stats.heap_pops += 1
             if node in settled or distance > dist.get(node, _INFINITY):
@@ -682,7 +828,12 @@ class ITSPQEngine:
     #: batch executor's multi-target search (see ``repro.core.compiled``).
     _COMPILED_KINDS = COMPILED_KINDS
 
-    def _search_compiled(self, itsp_query: ITSPQuery, method_name: str) -> QueryResult:
+    def _search_compiled(
+        self,
+        itsp_query: ITSPQuery,
+        method_name: str,
+        deadline: Optional[SearchDeadline] = None,
+    ) -> QueryResult:
         """Algorithm 1 over the compiled integer-indexed graph.
 
         Same semantics, same counters, same tie-breaking as :meth:`_search` —
@@ -772,6 +923,8 @@ class ITSPQEngine:
         found_distance = _INFINITY
         found = False
         while heap:
+            if deadline is not None:
+                deadline.tick()
             distance, _, node = heappop(heap)
             heap_pops += 1
             heap_size -= 1

@@ -234,6 +234,9 @@ class ExecutionReport:
     pool_respawns: int = 0  #: pools torn down and restarted.
     backoff_seconds: float = 0.0  #: total backoff slept between respawns.
     elapsed_seconds: float = 0.0  #: wall time of the whole call.
+    dispatch_unix: float = 0.0  #: ``time.time()`` when the call started.
+    pool_seconds: float = 0.0  #: wall time of the supervised-pool rung.
+    fallback_seconds: float = 0.0  #: wall time of the in-process fallback rung.
     fault_plan: Optional[str] = field(default=None, repr=False)  #: repr of an injected plan.
 
     @property
@@ -248,6 +251,13 @@ class ExecutionReport:
             and self.chunk_failures == 0
             and self.pool_respawns == 0
         )
+
+    @property
+    def total_seconds(self) -> float:
+        """Alias of :attr:`elapsed_seconds` under the service's metric name
+        (``dispatch_unix + total_seconds`` brackets the call in wall-clock
+        terms, which is what a health scorer correlates across reports)."""
+        return self.elapsed_seconds
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready dictionary (for bench records and gate summaries)."""
@@ -268,6 +278,10 @@ class ExecutionReport:
             "pool_respawns": self.pool_respawns,
             "backoff_seconds": self.backoff_seconds,
             "elapsed_seconds": self.elapsed_seconds,
+            "dispatch_unix": self.dispatch_unix,
+            "total_seconds": self.total_seconds,
+            "pool_seconds": self.pool_seconds,
+            "fallback_seconds": self.fallback_seconds,
             "clean": self.clean,
         }
         if self.fault_plan is not None:
@@ -277,13 +291,18 @@ class ExecutionReport:
     def summary(self) -> str:
         """One line for logs and gate tables."""
         if self.mode != "pool":
-            return f"{self.mode}: {self.queries} queries in {self.groups} groups"
+            return (
+                f"{self.mode}: {self.queries} queries in {self.groups} groups "
+                f"({self.total_seconds:.3f}s)"
+            )
         state = "clean" if self.clean else "degraded"
         return (
             f"pool({self.workers}): {self.chunks_completed}/{self.chunks_total} chunks "
             f"on-pool, {self.chunks_retried} retries, {self.chunk_timeouts} timeouts, "
             f"{self.worker_crashes} crashes, {self.pool_respawns} respawns, "
-            f"{self.chunks_fallback} fallbacks [{state}]"
+            f"{self.chunks_fallback} fallbacks [{state}] "
+            f"({self.total_seconds:.3f}s: pool {self.pool_seconds:.3f}s, "
+            f"fallback {self.fallback_seconds:.3f}s)"
         )
 
 
@@ -357,15 +376,19 @@ class ParallelBatchExecutor:
         cache=None,
     ):
         if workers < 1:
-            raise ValueError(f"worker count must be positive, got {workers}")
+            raise ValueError(f"workers must be positive, got {workers}")
         if chunks_per_worker < 1:
-            raise ValueError(f"chunks per worker must be positive, got {chunks_per_worker}")
+            raise ValueError(f"chunks_per_worker must be positive, got {chunks_per_worker}")
         if max_chunk_retries < 0:
-            raise ValueError(f"retry budget must be non-negative, got {max_chunk_retries}")
-        if chunk_timeout is not None and chunk_timeout <= 0:
-            raise ValueError(f"chunk timeout must be positive or None, got {chunk_timeout}")
-        if backoff_base < 0 or backoff_cap < 0:
-            raise ValueError("backoff parameters must be non-negative")
+            raise ValueError(f"max_chunk_retries must be non-negative, got {max_chunk_retries}")
+        if chunk_timeout is not None and not chunk_timeout > 0:
+            raise ValueError(f"chunk_timeout must be positive or None, got {chunk_timeout}")
+        if backoff_base < 0:
+            raise ValueError(f"backoff_base must be non-negative, got {backoff_base}")
+        if backoff_cap < 0:
+            raise ValueError(f"backoff_cap must be non-negative, got {backoff_cap}")
+        if walking_speed <= 0:
+            raise ValueError(f"walking_speed must be positive, got {walking_speed}")
         self._workers = int(workers)
         self._chunks_per_worker = int(chunks_per_worker)
         # The parent shares ``cache`` (an SPTreeCache or CacheConfig) with
@@ -424,6 +447,7 @@ class ParallelBatchExecutor:
         what the pool does.  The call's :class:`ExecutionReport` is left on
         :attr:`last_report`."""
         started = time.perf_counter()
+        dispatch_unix = time.time()
         groups = self._local.planner.plan(queries, method_name)
         results: List[Optional[QueryResult]] = [None] * len(queries)
         if self._workers <= 1 or len(groups) <= 1:
@@ -433,6 +457,7 @@ class ParallelBatchExecutor:
                 usable_cpus=default_worker_count(),
                 queries=len(queries),
                 groups=len(groups),
+                dispatch_unix=dispatch_unix,
             )
             for order, result in self._local.run_planned(groups):
                 results[order] = result
@@ -445,6 +470,7 @@ class ParallelBatchExecutor:
                 queries=len(queries),
                 groups=len(groups),
                 chunks_total=len(chunks),
+                dispatch_unix=dispatch_unix,
                 fault_plan=repr(self._fault_plan) if self._fault_plan is not None else None,
             )
             for order, result in self._run_supervised(chunks, report):
@@ -502,6 +528,8 @@ class ParallelBatchExecutor:
         #: The most recent failure kind — what never-dispatched chunks are
         #: attributed to when the respawn guard drains the queue.
         last_failure_kind: Optional[str] = None
+
+        pool_started = time.perf_counter()
 
         def charge_failure(task: _ChunkTask, failure: str) -> None:
             """Charge one failed attempt; route to retry or the last rung."""
@@ -597,11 +625,15 @@ class ParallelBatchExecutor:
                 else:
                     self._respawn_pool(report, consecutive_respawns)
 
+        report.pool_seconds = time.perf_counter() - pool_started
+
         # The ladder's last rung: whatever the pool could not answer runs on
         # the parent's executor, whose results are bit-identical by the batch
         # parity contract.  Chunk order is normalised for determinism.
+        fallback_started = time.perf_counter()
         for task in sorted(fallback, key=lambda task: task.chunk_id):
             pairs.extend(self._local.run_planned(task.groups))
+        report.fallback_seconds = time.perf_counter() - fallback_started
         return pairs
 
     def _route_to_fallback(

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.constants import WALKING_SPEED_MPS
+from repro.core.deadline import SearchDeadline
 from repro.core.itgraph import ITGraph
 from repro.exceptions import UnknownEntityError
 from repro.geometry.point import IndoorPoint
@@ -74,12 +75,16 @@ def selection_dijkstra_reference(
     target: IndoorPoint,
     query_time: TimeLike,
     walking_speed: float = WALKING_SPEED_MPS,
+    deadline: Optional[SearchDeadline] = None,
 ) -> ReferenceAnswer:
     """Label-setting reference with the same semantics as Algorithm 1.
 
     Works on door labels selected by linear scan (no heap), with door-to-door
     moves enumerated from the topology on the fly.  Used to cross-check the
-    engine's ITG/S and ITG/A answers.
+    engine's ITG/S and ITG/A answers.  An armed ``deadline`` is polled once
+    per selection step and raises
+    :class:`~repro.exceptions.DeadlineExceededError` on expiry — the oracle
+    observes the same cooperative budget contract as the engine tiers.
     """
     t = as_time_of_day(query_time)
     topology = itgraph.topology
@@ -112,6 +117,8 @@ def selection_dijkstra_reference(
 
     settled: Set[str] = set()
     while True:
+        if deadline is not None:
+            deadline.tick()
         # Select the unsettled door with the smallest label by linear scan.
         current: Optional[str] = None
         current_distance = _INFINITY
@@ -164,13 +171,16 @@ def time_expanded_exact(
     query_time: TimeLike,
     walking_speed: float = WALKING_SPEED_MPS,
     max_doors: int = 32,
+    deadline: Optional[SearchDeadline] = None,
 ) -> ReferenceAnswer:
     """Exhaustive optimum over *simple* door sequences (no door repeated).
 
     Unlike the label-setting searches, this explores longer-but-later
     prefixes, so it finds valid paths that deliberately detour to arrive at a
     door after it opens.  Branch-and-bound on the incumbent length keeps it
-    tractable on the test venues; ``max_doors`` caps the recursion depth.
+    tractable on the test venues; ``max_doors`` caps the recursion depth, and
+    an armed ``deadline`` (polled once per expansion) bounds wall time — the
+    exponential oracle is exactly where a budget matters most.
     """
     t = as_time_of_day(query_time)
     topology = itgraph.topology
@@ -188,6 +198,8 @@ def time_expanded_exact(
         return itgraph.door_record(door_id).atis.contains(arrival)
 
     def recurse(current_door: str, distance: float, used: Set[str], doors: Tuple[str, ...]) -> None:
+        if deadline is not None:
+            deadline.tick()
         if distance >= best["length"] or len(doors) >= max_doors:
             return
         for partition_id in topology.enterable_partitions(current_door):

@@ -61,6 +61,36 @@ class CorruptPayloadError(SerializationError):
     """
 
 
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A search exhausted its cooperative :class:`~repro.core.deadline.SearchDeadline`.
+
+    Raised from inside the Dijkstra loops of the reference, compiled, batch
+    and cache-recording tiers when the per-request time budget runs out.
+    The search never returns a partial result: the exception is the *only*
+    outcome of an expired deadline, and the engine/executor remains fully
+    usable for the next query.  Also a :class:`TimeoutError`, so generic
+    timeout handling catches it.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.service` query service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service shed a request because offered load exceeds capacity.
+
+    The admission controller raises this when the bounded pending queue is
+    full, and the cache-replay-only degradation rung raises it for queries
+    whose shortest-path tree is not cached.  Maps to HTTP 429.
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service cannot take the request at all (draining, no venue, or no
+    execution rung available).  Maps to HTTP 503."""
+
+
 class ParallelExecutionError(ReproError):
     """Parallel batch execution lost a unit of work beyond its retry budget.
 

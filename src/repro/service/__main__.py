@@ -1,0 +1,145 @@
+"""``python -m repro.service`` — run an ITSPQ query server on localhost.
+
+Venue selection:
+
+* ``--venue example`` (default) serves the Figure 1 / Table I running
+  example;
+* ``--venue mall`` serves a small synthetic multi-floor mall (deterministic
+  seed, built at startup);
+* ``--venue /path/to/payload.bin`` serves a venue rehydrated from a
+  :mod:`repro.io.compiled_codec` payload file (the shard deployment — no
+  object-level IT-Graph is built).
+
+The server prints exactly one ``listening on HOST:PORT`` line to stdout
+once ready (the line the load generator and the CI job wait for), serves
+until SIGINT/SIGTERM, then drains and closes gracefully.
+
+Example
+-------
+::
+
+    python -m repro.service --venue example --port 8321 --cache eager &
+    curl -s localhost:8321/query -d '{"source": [26, 5, 0],
+        "target": [9, 10, 0], "time": "9:00"}'
+    curl -s localhost:8321/readyz
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import sys
+
+from repro.core.cache import CacheConfig
+from repro.core.engine import ITSPQEngine
+from repro.service.server import ITSPQService, ServiceConfig
+
+
+def build_engine(venue: str, cache: str) -> ITSPQEngine:
+    """Build the engine for a ``--venue`` choice (see the module docstring)."""
+    cache_option = None if cache == "off" else CacheConfig(mode=cache)
+    if os.path.exists(venue):
+        with open(venue, "rb") as handle:
+            payload = handle.read()
+        return ITSPQEngine.from_compiled_payload(payload, cache=cache_option)
+    if venue == "example":
+        from repro.datasets.example_floorplan import build_example_itgraph
+
+        return ITSPQEngine(build_example_itgraph(), cache=cache_option)
+    if venue == "mall":
+        from repro.core.itgraph import build_itgraph
+        from repro.synthetic.floorplan import MallFloorConfig
+        from repro.synthetic.multifloor import MultiFloorConfig, generate_mall_venue
+        from repro.synthetic.schedules import ScheduleConfig, generate_schedule
+
+        config = MultiFloorConfig(
+            floors=2,
+            staircases_per_floor_pair=2,
+            floor_config=MallFloorConfig(
+                side=300.0,
+                corridors=2,
+                corridor_cells=3,
+                shop_depth=25.0,
+                shops_per_row=6,
+                double_door_fraction=0.4,
+                private_shop_fraction=0.1,
+            ),
+        )
+        venue_obj = generate_mall_venue(config, seed=5)
+        schedule, _ = generate_schedule(venue_obj.space, ScheduleConfig(checkpoint_count=8, seed=3))
+        return ITSPQEngine(build_itgraph(venue_obj.space, schedule, validate=False), cache=cache_option)
+    raise SystemExit(f"unknown venue {venue!r}: expected 'example', 'mall' or a payload path")
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve ITSPQ queries over localhost HTTP with deadlines, "
+        "admission control and a degradation ladder.",
+    )
+    parser.add_argument("--venue", default="example", help="example | mall | payload path")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    parser.add_argument("--workers", type=int, default=1, help=">1 adds the parallel-pool rung")
+    parser.add_argument(
+        "--cache",
+        choices=("off", "promote", "eager"),
+        default="promote",
+        help="SP-tree cache mode (an enabled cache adds the cache-replay rung)",
+    )
+    parser.add_argument("--window-ms", type=float, default=5.0, help="micro-batch window")
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--max-pending", type=int, default=64)
+    parser.add_argument("--max-inflight", type=int, default=4)
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, help="default per-request budget"
+    )
+    parser.add_argument("--breaker-threshold", type=int, default=3)
+    parser.add_argument("--breaker-backoff", type=float, default=0.5)
+    parser.add_argument("--breaker-backoff-cap", type=float, default=30.0)
+    return parser
+
+
+async def amain(args: argparse.Namespace) -> None:
+    engine = build_engine(args.venue, args.cache)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        max_inflight_batches=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
+        workers=args.workers,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_backoff_base=args.breaker_backoff,
+        breaker_backoff_cap=args.breaker_backoff_cap,
+    )
+    service = ITSPQService({args.venue if not os.path.exists(args.venue) else "shard": engine}, config)
+    await service.start()
+    print(f"listening on {service.host}:{service.port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    serve = asyncio.ensure_future(service.serve_forever())
+    stopper = asyncio.ensure_future(stop.wait())
+    await asyncio.wait((serve, stopper), return_when=asyncio.FIRST_COMPLETED)
+    serve.cancel()
+    await service.aclose()
+    print("drained and closed", flush=True)
+
+
+def main(argv=None) -> None:
+    args = make_parser().parse_args(argv)
+    try:
+        asyncio.run(amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        pass
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,87 @@
+"""Service counters and latency percentiles for ``/metrics``.
+
+Deliberately dependency-free: a bounded reservoir of recent request
+latencies (newest-wins ring buffer, so percentiles reflect the current
+regime rather than the whole process lifetime) plus plain counters keyed by
+outcome and by degradation rung.  The load-generator benchmark reads the
+same snapshot shape it writes to ``BENCH_service.json``, so the service's
+self-reported numbers and the bench's externally-measured ones line up
+field for field.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+
+class ServiceMetrics:
+    """Counters + a bounded latency reservoir (single event-loop use)."""
+
+    def __init__(self, reservoir_size: int = 8192):
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be positive, got {reservoir_size}")
+        self.received = 0
+        self.answered = 0
+        self.shed = 0  # 429s: admission + cache-replay misses
+        self.deadline_exceeded = 0  # 504s
+        self.bad_requests = 0  # 400s
+        self.client_timeouts = 0  # 408s: slow clients
+        self.unavailable = 0  # 503s: draining / not ready
+        self.internal_errors = 0  # 500s
+        self.batches = 0
+        self.answered_by_rung: Dict[str, int] = {}
+        self._latencies: Deque[float] = deque(maxlen=reservoir_size)
+
+    def observe_outcome(self, status: int) -> None:
+        """Count one finished request by its HTTP status."""
+        if status == 200:
+            self.answered += 1
+        elif status == 429:
+            self.shed += 1
+        elif status == 504:
+            self.deadline_exceeded += 1
+        elif status == 400:
+            self.bad_requests += 1
+        elif status == 408:
+            self.client_timeouts += 1
+        elif status == 503:
+            self.unavailable += 1
+        else:
+            self.internal_errors += 1
+
+    def observe_rung(self, rung: str, count: int = 1) -> None:
+        """Count ``count`` queries answered on ``rung``."""
+        self.answered_by_rung[rung] = self.answered_by_rung.get(rung, 0) + count
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one request's service-side latency (admit → response)."""
+        self._latencies.append(seconds)
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """The ``fraction`` (0..1) percentile of the reservoir, or ``None``
+        when empty.  Nearest-rank on a sorted copy — the reservoir is small
+        and ``/metrics`` is not a hot path."""
+        if not self._latencies:
+            return None
+        ordered = sorted(self._latencies)
+        rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/metrics`` payload's request section."""
+        return {
+            "received": self.received,
+            "answered": self.answered,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "bad_requests": self.bad_requests,
+            "client_timeouts": self.client_timeouts,
+            "unavailable": self.unavailable,
+            "internal_errors": self.internal_errors,
+            "batches": self.batches,
+            "answered_by_rung": dict(self.answered_by_rung),
+            "latency_samples": len(self._latencies),
+            "latency_p50_seconds": self.percentile(0.50),
+            "latency_p99_seconds": self.percentile(0.99),
+        }

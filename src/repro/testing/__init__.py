@@ -13,6 +13,22 @@ Nothing in here runs in production: the executor only imports this package
 when a plan is explicitly supplied.
 """
 
-from repro.testing.faults import FaultPlan, FaultSpec, InjectedWorkerError
+from repro.testing.faults import (
+    FaultPlan,
+    FaultSpec,
+    FlakyRung,
+    InjectedWorkerError,
+    drip_feed_request,
+    flood_requests,
+    sigkill_mid_request_plan,
+)
 
-__all__ = ["FaultPlan", "FaultSpec", "InjectedWorkerError"]
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FlakyRung",
+    "InjectedWorkerError",
+    "drip_feed_request",
+    "flood_requests",
+    "sigkill_mid_request_plan",
+]

@@ -31,6 +31,7 @@ from __future__ import annotations
 import os
 import random
 import signal
+import threading as _threading
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
@@ -208,3 +209,134 @@ def fire_chunk_fault(spec: FaultSpec, chunk_id: int, attempt: int) -> None:
         )
     elif spec.kind == DELAY:
         time.sleep(spec.delay_seconds)
+
+
+# -- service-level fault specs --------------------------------------------------
+#
+# The serving layer (:mod:`repro.service`) has failure surfaces the worker
+# pool alone cannot express: clients that stall mid-request, offered load
+# past the admission budget, and rungs of the degradation ladder failing in
+# sequence.  The helpers below give the service chaos suite the same
+# property the pool plan gives the executor suite — deterministic,
+# replayable sabotage.
+
+
+def sigkill_mid_request_plan(attempts_below: int = 1) -> FaultPlan:
+    """A plan that SIGKILLs the worker holding **every** chunk of the first
+    ``attempts_below`` dispatch attempts — the service-level "worker dies
+    mid-request" fault.  With the default, the supervised retry recovers on
+    the respawned pool; a large value defeats every retry and forces the
+    executor's in-process rung (both of which the service must hide from
+    the client behind a bit-identical answer)."""
+    return FaultPlan(faults=(FaultSpec(CRASH, attempts_below=attempts_below),))
+
+
+class FlakyRung:
+    """A ``rung_fault_hook`` that fails one named ladder rung a set number
+    of times, then heals — the deterministic driver for circuit-breaker
+    open/half-open/re-close tests.
+
+    Thread-safe (the hook runs on the service's worker threads); counts
+    every *offered* batch per rung so tests can assert both the failures
+    and the recovery probe schedule.
+    """
+
+    def __init__(self, rung: str, failures: int, error: type = RuntimeError):
+        self.rung = rung
+        self.failures = int(failures)
+        self.error = error
+        self.offered: dict = {}
+        self._lock = _threading.Lock()
+
+    def __call__(self, rung: str, venue: str) -> None:
+        with self._lock:
+            self.offered[rung] = self.offered.get(rung, 0) + 1
+            if rung == self.rung and self.failures > 0:
+                self.failures -= 1
+                raise self.error(
+                    f"injected rung failure ({rung} on {venue}, {self.failures} left)"
+                )
+
+
+async def drip_feed_request(
+    host: str,
+    port: int,
+    body: bytes = b"{}",
+    first_bytes: int = 4,
+    hold_seconds: float = 30.0,
+):
+    """The slow-client fault: open a connection, send only the first few
+    bytes of a request, then stall.  Returns ``(status, payload_bytes)``
+    once the server gives up on us (the 408 path) or ``(None, b"")`` if the
+    server just closes the socket.  ``hold_seconds`` bounds the stall so a
+    misbehaving server cannot hang the test."""
+    import asyncio
+
+    request = (
+        b"POST /query HTTP/1.1\r\nContent-Length: %d\r\n\r\n" % len(body)
+    ) + body
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(request[:first_bytes])
+        await writer.drain()
+        try:
+            head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=hold_seconds)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError, ConnectionError):
+            return None, b""
+        status = int(head.split(b" ")[1])
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length"):
+                length = int(line.split(b":")[1])
+        payload = await reader.readexactly(length) if length else b""
+        return status, payload
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def flood_requests(host: str, port: int, bodies, concurrency: Optional[int] = None):
+    """The queue-overflow fault: fire every request in ``bodies`` at once
+    (or ``concurrency`` at a time) and return the list of ``(status,
+    payload_dict)`` outcomes in input order.  The chaos suite asserts the
+    outcome *set* — every request either answered 200 (bit-identically) or
+    was shed with a typed 429 — rather than any particular split."""
+    import asyncio
+    import json
+
+    semaphore = asyncio.Semaphore(concurrency) if concurrency else None
+
+    async def one(body: dict):
+        if semaphore is not None:
+            await semaphore.acquire()
+        try:
+            payload = json.dumps(body).encode()
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(
+                    (b"POST /query HTTP/1.1\r\nContent-Length: %d\r\n\r\n" % len(payload))
+                    + payload
+                )
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                status = int(head.split(b" ")[1])
+                length = 0
+                for line in head.split(b"\r\n"):
+                    if line.lower().startswith(b"content-length"):
+                        length = int(line.split(b":")[1])
+                raw = await reader.readexactly(length) if length else b"{}"
+                return status, json.loads(raw)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except Exception:
+                    pass
+        finally:
+            if semaphore is not None:
+                semaphore.release()
+
+    return await asyncio.gather(*(one(body) for body in bodies))

@@ -293,11 +293,11 @@ class TestEngineOptions:
             ITSPQEngine(example_itgraph, cache="yes please")
 
     def test_invalid_config_values_are_rejected(self):
-        with pytest.raises(ValueError, match="capacity"):
+        with pytest.raises(ValueError, match="max_entries"):
             CacheConfig(max_entries=0)
         with pytest.raises(ValueError, match="mode"):
             CacheConfig(mode="sometimes")
-        with pytest.raises(ValueError, match="threshold"):
+        with pytest.raises(ValueError, match="promote_after"):
             CacheConfig(promote_after=0)
 
 
