@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Docs integrity: every relative link in the repo's markdown must resolve.
+
+Scans ``*.md`` at the repository root and under ``docs/`` for inline
+markdown links (``[text](target)``) and checks that every **relative**
+target exists on disk.  Skipped, deliberately:
+
+* absolute URLs (``http://``, ``https://``, ``mailto:`` — any scheme);
+* pure in-page anchors (``#section``);
+* targets that resolve outside the repository root (the README's CI badge
+  links point at ``../../actions/...`` on the GitHub host, not at files).
+
+Anchors on relative links (``FILE.md#section``) are checked for the file
+part only.  Exits non-zero listing every broken link; CI runs this in the
+lint job (and ``tests/test_docs_integrity.py`` runs it in tier-1).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` with a non-empty, paren-free target; images too.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ``scheme:`` prefixes mark external targets (http, https, mailto, ...).
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def markdown_files() -> List[Path]:
+    """The checked set: ``*.md`` at the repo root and under ``docs/``."""
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return files
+
+
+def broken_links(path: Path) -> List[Tuple[str, str]]:
+    """Every ``(target, why)`` in ``path`` that fails the check."""
+    problems = []
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if _SCHEME.match(target) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            continue  # escapes the repo (e.g. GitHub badge paths): not ours to check
+        if not resolved.exists():
+            problems.append((target, f"does not exist: {resolved}"))
+    return problems
+
+
+def main() -> int:
+    failures = 0
+    files = markdown_files()
+    for path in files:
+        for target, why in broken_links(path):
+            failures += 1
+            print(f"{path.relative_to(REPO_ROOT)}: broken link ({target}) — {why}")
+    if failures:
+        print(f"{failures} broken link(s) across {len(files)} markdown file(s)")
+        return 1
+    print(f"docs integrity OK: {len(files)} markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

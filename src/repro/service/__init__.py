@@ -21,7 +21,12 @@ robustness machinery:
   bounded-backoff recovery probes (:mod:`repro.service.degradation`);
 * **graceful lifecycle** — ``/healthz`` / ``/readyz`` / ``/metrics``
   endpoints and drain-then-close shutdown reusing the engines' idempotent
-  ``close()`` contract (:mod:`repro.service.server`).
+  ``close()`` contract (:mod:`repro.service.server`);
+* **sharded serving** — a :class:`~repro.service.shard.ShardRouter`
+  front-end over N supervised service subprocesses (one venue subset each,
+  static venue→shard map, pooled proxying, bounded-backoff respawn,
+  aggregated health/metrics), the ``--shards`` mode of
+  ``python -m repro.service`` (:mod:`repro.service.shard`).
 
 Every rung answers **bit-identically** to the sequential oracle (the
 repository's standing parity invariant); degradation changes latency and
@@ -31,8 +36,9 @@ availability, never answers.  ``python -m repro.service`` runs a server;
 
 from repro.service.admission import AdmissionController
 from repro.service.degradation import CircuitBreaker, DegradationLadder
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import ServiceMetrics, aggregate_request_snapshots
 from repro.service.server import ITSPQService, ServiceConfig
+from repro.service.shard import ShardRouter, ShardRouterConfig, ShardSpec, plan_shards
 
 __all__ = [
     "AdmissionController",
@@ -41,4 +47,9 @@ __all__ = [
     "ServiceMetrics",
     "ITSPQService",
     "ServiceConfig",
+    "ShardRouter",
+    "ShardRouterConfig",
+    "ShardSpec",
+    "aggregate_request_snapshots",
+    "plan_shards",
 ]

@@ -12,7 +12,7 @@ field for field.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Iterable, Optional
 
 
 class ServiceMetrics:
@@ -85,3 +85,59 @@ class ServiceMetrics:
             "latency_p50_seconds": self.percentile(0.50),
             "latency_p99_seconds": self.percentile(0.99),
         }
+
+
+def aggregate_request_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """The cross-shard ``aggregate`` section of a router's ``/metrics``.
+
+    ``snapshots`` are the per-shard ``requests`` sections (the shape
+    :meth:`ServiceMetrics.snapshot` emits).  Counters sum; the per-rung
+    split merges by summation; ``latency_samples`` sums.  Percentiles do
+    **not** compose across processes (a p99 of p99s is not the deployment's
+    p99), so the aggregate reports the *worst shard's* p50/p99 — the
+    conservative number an operator should alert on — and keeps the exact
+    per-shard values available next to it in the ``shards`` section.
+
+    ``shards_reporting`` counts the snapshots that actually contributed:
+    during a shard death it is smaller than the shard count, which is
+    itself a signal (the aggregate silently covering fewer shards would
+    read as "traffic dropped" when it did not).
+    """
+    summed = {
+        "received": 0,
+        "answered": 0,
+        "shed": 0,
+        "deadline_exceeded": 0,
+        "bad_requests": 0,
+        "client_timeouts": 0,
+        "unavailable": 0,
+        "internal_errors": 0,
+        "batches": 0,
+        "latency_samples": 0,
+    }
+    answered_by_rung: Dict[str, int] = {}
+    worst: Dict[str, Optional[float]] = {
+        "latency_p50_seconds": None,
+        "latency_p99_seconds": None,
+    }
+    reporting = 0
+    for snapshot in snapshots:
+        reporting += 1
+        for key in summed:
+            value = snapshot.get(key)
+            if isinstance(value, (int, float)):
+                summed[key] += int(value)
+        rungs = snapshot.get("answered_by_rung")
+        if isinstance(rungs, dict):
+            for rung, count in rungs.items():
+                answered_by_rung[rung] = answered_by_rung.get(rung, 0) + int(count)
+        for field in worst:
+            value = snapshot.get(field)
+            if isinstance(value, (int, float)) and (worst[field] is None or value > worst[field]):
+                worst[field] = float(value)
+    return {
+        **summed,
+        "answered_by_rung": answered_by_rung,
+        **worst,
+        "shards_reporting": reporting,
+    }

@@ -86,6 +86,52 @@ def query_body(
     return body
 
 
+#: ``/metrics`` keys whose *children* are data (venue names, rung names,
+#: shard names, status codes), not schema: recursion continues into the
+#: values but the child keys themselves are not schema fields.
+DYNAMIC_KEY_CONTAINERS = frozenset(
+    {
+        "venues",
+        "answered_by_rung",
+        "breakers",
+        "selections",
+        "shards",
+        "routed_by_shard",
+        "responses_by_status",
+    }
+)
+
+
+def collect_metric_fields(payload: Any, _under_dynamic: bool = False) -> set:
+    """Every schema field name a ``/metrics`` (or ``/readyz``) payload
+    emits, walking nested dicts but skipping dynamic-key levels (see
+    :data:`DYNAMIC_KEY_CONTAINERS`) — the set the operator handbook must
+    document, computed from a live scrape so doc and code cannot drift."""
+    fields = set()
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            if not _under_dynamic:
+                fields.add(key)
+            fields |= collect_metric_fields(value, _under_dynamic=key in DYNAMIC_KEY_CONTAINERS)
+    elif isinstance(payload, (list, tuple)):
+        for item in payload:
+            fields |= collect_metric_fields(item, _under_dynamic=False)
+    return fields
+
+
+def assert_fields_documented(payload: Any, doc_text: str, context: str) -> None:
+    """Every schema field of ``payload`` must appear backticked in the
+    operator handbook — the live-scrape-vs-docs diff of the acceptance
+    criteria."""
+    missing = sorted(
+        field for field in collect_metric_fields(payload) if f"`{field}`" not in doc_text
+    )
+    assert not missing, (
+        f"{context}: fields emitted by the live service but undocumented in "
+        f"docs/OPERATIONS.md: {missing}"
+    )
+
+
 def assert_matches_oracle(payload: Dict[str, Any], oracle) -> None:
     """The service answer must be bit-identical to an in-process engine run:
     same reachability, same length, same door sequence, same deterministic
